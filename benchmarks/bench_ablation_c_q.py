@@ -1,0 +1,74 @@
+"""Ablation — the c (candidate-set size) and q (white noise) sweeps.
+
+§7.1 experimented with q ∈ {0.01, 0.05, 0.1} and c ∈ {2, 3} but deferred
+the full plots to an extended version.  This benchmark fills that gap on
+the dblp surrogate:
+
+* larger c gives the algorithm more room (never a larger minimal σ is
+  *required*, though the σ(e) budget spreads over more pairs);
+* larger q injects unconditional noise, degrading utility (expected
+  edge-count drift grows with q) while helping obfuscation.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.search import obfuscate
+from repro.experiments.report import render_table
+
+
+def test_ablation_c_q(benchmark, cache, config):
+    graph = config.graph("dblp")
+    k = 20
+    eps = config.eps_for("dblp", 1e-3)
+
+    def run(c: float, q: float):
+        res = obfuscate(
+            graph,
+            k,
+            eps,
+            seed=11,
+            attempts=config.attempts,
+            delta=config.delta,
+            c=c,
+            q=q,
+        )
+        drift = float("nan")
+        if res.success:
+            drift = abs(
+                res.uncertain.expected_num_edges() - graph.num_edges
+            ) / graph.num_edges
+        return {
+            "c": c,
+            "q": q,
+            "success": res.success,
+            "sigma": res.sigma if res.success else float("nan"),
+            "expected_edge_drift": drift,
+        }
+
+    grid = [(2.0, 0.01), (3.0, 0.01), (2.0, 0.05), (2.0, 0.1)]
+    first = benchmark.pedantic(
+        lambda: run(*grid[0]), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = [first] + [run(c, q) for c, q in grid[1:]]
+    emit(
+        f"Ablation: c and q sweeps (dblp, k={k}, eps=1e-3 scaled)",
+        render_table(rows),
+        rows,
+        "ablation_c_q.csv",
+    )
+
+    by_cq = {(r["c"], r["q"]): r for r in rows}
+    base = by_cq[(2.0, 0.01)]
+    assert base["success"]
+
+    # q ablation: more white noise → more expected-edge drift.
+    drifts = [
+        by_cq[(2.0, q)]["expected_edge_drift"]
+        for q in (0.01, 0.05, 0.1)
+        if by_cq[(2.0, q)]["success"]
+    ]
+    assert all(a <= b * (1 + 0.35) for a, b in zip(drifts, drifts[1:])) or (
+        drifts == sorted(drifts)
+    )

@@ -1,0 +1,75 @@
+"""Table 2 — minimal σ achieving (k, ε)-obfuscation per (dataset, k, ε).
+
+Paper reference values (q = 0.01, c = 2, (*) = c = 3):
+
+    dblp   k=20  ε=1e-3: 5.96e-8     ε=1e-4: 1.62e-5
+    dblp   k=60:         2.98e-7              3.22e-3
+    dblp   k=100:        1.88e-5              1.07e-2
+    flickr k=20:         2.29e-5              2.63e-2
+    flickr k=60:         1.04e-3              7.33e-2 (*)
+    flickr k=100:        5.86e-3              2.93e-1 (*)
+    Y360   k=20..100:    5.96e-8 ..           5.96e-8 .. 1.11e-5
+
+Reproduction target is the *shape*: σ grows with k, grows as ε shrinks,
+flickr needs the most noise (and c escalation at the hard corner), Y360
+the least.  Absolute values differ because our surrogates are ~50×
+smaller and the binary-search floor is coarser (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.harness import table2_rows
+from repro.experiments.report import render_table
+
+
+def test_table2_sigma(benchmark, cache, config):
+    sweep = benchmark.pedantic(
+        lambda: cache.sweep(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = table2_rows(sweep)
+    emit(
+        "Table 2: minimal sigma for (k, eps)-obfuscation",
+        render_table(rows),
+        rows,
+        "table2_sigma.csv",
+    )
+
+    by_cell = {(r["dataset"], r["k"], r["eps"]): r for r in rows}
+
+    # Shape check 1: σ is non-decreasing in k at fixed (dataset, ε, c).
+    # Cells that escalated to a larger candidate set are excluded from the
+    # comparison: spreading the budget over more pairs lowers the per-pair
+    # σ(e), so σ across different c values is not comparable (the paper's
+    # (*) rows likewise switch regime).
+    for dataset in config.datasets:
+        for eps in config.eps_values:
+            cells = [
+                by_cell[(dataset, k, eps)]
+                for k in config.k_values
+                if by_cell[(dataset, k, eps)]["success"]
+            ]
+            for c_value in {cell["c"] for cell in cells}:
+                sigmas = [cell["sigma"] for cell in cells if cell["c"] == c_value]
+                assert all(
+                    a <= b * (1 + 1e-9) + 1e-12
+                    for a, b in zip(sigmas, sigmas[1:])
+                ), f"sigma not monotone in k for {dataset} eps={eps} c={c_value}: {sigmas}"
+
+    # Shape check 2: smaller ε (stricter) needs at least as much σ
+    # (compared within the same candidate-set regime, as above).
+    for dataset in config.datasets:
+        for k in config.k_values:
+            loose = by_cell[(dataset, k, 1e-3)]
+            strict = by_cell[(dataset, k, 1e-4)]
+            if loose["success"] and strict["success"] and loose["c"] == strict["c"]:
+                assert strict["sigma"] >= loose["sigma"] * (1 - 1e-9)
+
+    # Shape check 3: flickr is the hardest dataset (paper's (*) cells).
+    if {"flickr", "y360"} <= set(config.datasets):
+        hard = by_cell[("flickr", 100, 1e-4)]
+        easy = by_cell[("y360", 100, 1e-4)]
+        if hard["success"] and easy["success"]:
+            assert hard["sigma"] >= easy["sigma"]
+            assert hard["c"] >= easy["c"]

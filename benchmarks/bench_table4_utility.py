@@ -1,0 +1,65 @@
+"""Table 4 — sample means of ten statistics over 100 worlds (ε = 10⁻⁴).
+
+Paper reference shape (last column = average relative error vs real):
+
+    dblp:   k=20 → 4.9%,  k=60 → 42.9%,  k=100 → 70.5%
+    flickr: k=20 → 11.2%, k=60 → 32.2%,  k=100 → 41.5%
+    Y360:   k=20 → 2.6%,  k=60 → 2.5%,   k=100 → 2.3%
+
+Reproduction targets: error grows with k on dblp/flickr; Y360 is nearly
+unaffected at every k; k = 20 stays below ~15% everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.harness import table4_rows
+from repro.experiments.report import render_table
+
+
+def test_table4_utility(benchmark, cache, config):
+    rows = benchmark.pedantic(
+        lambda: table4_rows(
+            cache.sweep(eps_values=(1e-4,)), config, cache=cache.summaries
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit(
+        "Table 4: sample means over sampled worlds (eps = 1e-4)",
+        render_table(rows),
+        rows,
+        "table4_utility.csv",
+    )
+
+    by_variant = {(r["dataset"], r["variant"]): r for r in rows}
+
+    for dataset in config.datasets:
+        variants = [r for r in rows if r["dataset"] == dataset]
+        real = variants[0]
+        assert real["variant"] == "real" and real["rel_err"] == 0.0
+        ks = [r for r in variants[1:] if "rel_err" in r and r["rel_err"] == r["rel_err"]]
+        if not ks:
+            continue
+        # Shape check 1: the smallest k keeps error modest (paper: < 15%).
+        assert ks[0]["rel_err"] < 0.25, (dataset, ks[0]["rel_err"])
+        # Shape check 2: error does not *shrink* dramatically as k grows
+        # on the hard datasets (paper: strictly grows on dblp/flickr).
+        if dataset in ("dblp", "flickr") and len(ks) >= 2:
+            assert ks[-1]["rel_err"] >= 0.5 * ks[0]["rel_err"]
+
+    # Shape check 3: y360 is the least-affected dataset at every k.
+    if {"y360", "dblp"} <= set(config.datasets):
+        y_err = max(
+            r["rel_err"]
+            for r in rows
+            if r["dataset"] == "y360" and r["variant"] != "real"
+        )
+        d_err = max(
+            r["rel_err"]
+            for r in rows
+            if r["dataset"] == "dblp" and r["variant"] != "real"
+        )
+        assert y_err <= d_err

@@ -1,0 +1,47 @@
+"""Table 5 — relative sample standard error of the mean (ε = 10⁻⁴).
+
+Paper reference shape: all statistics are sharply concentrated across
+the 100 sampled worlds — the per-row average relative SEM is ≈ 2–3%,
+with S_NE/S_AD the tightest (≈ 10⁻⁴) and S_EDiam the loosest (≈ 0.1–0.18).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.harness import table5_rows
+from repro.experiments.report import render_table
+
+
+def test_table5_sem(benchmark, cache, config):
+    rows = benchmark.pedantic(
+        lambda: table5_rows(
+            cache.sweep(eps_values=(1e-4,)), config, cache=cache.summaries
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit(
+        "Table 5: relative sample SEM over sampled worlds (eps = 1e-4)",
+        render_table(rows),
+        rows,
+        "table5_sem.csv",
+    )
+
+    for row in rows:
+        # Shape check 1: strong overall concentration (paper: ~3%).
+        assert row["average"] < 0.10, (row["dataset"], row["k"], row["average"])
+        # Shape check 2: the edge-count statistics are the most
+        # concentrated columns, far below the row average.
+        assert row["S_NE"] < row["average"]
+        assert row["S_NE"] == row["S_AD"] or abs(row["S_NE"] - row["S_AD"]) < 1e-12
+        # Shape check 3: the paper's tightest columns (edge counts and the
+        # averaged distance statistics) are never the noisiest ones — the
+        # extremes/fits (diameters, max degree, variance, PL fit, CC) are.
+        scalar_cols = [
+            "S_NE", "S_AD", "S_MD", "S_DV", "S_PL",
+            "S_APD", "S_DiamLB", "S_EDiam", "S_CL", "S_CC",
+        ]
+        noisiest = max(scalar_cols, key=lambda c: row[c])
+        assert noisiest not in ("S_NE", "S_AD", "S_APD", "S_CL"), noisiest

@@ -1,0 +1,61 @@
+"""Table 6 — obfuscation vs random sparsification/perturbation.
+
+The paper's headline comparison (its §7.3 matchups, p values in
+parentheses matched to the obfuscation levels via Figure 4):
+
+    dblp:   rand.pert.(p=0.04)  rel.err 7.1%  vs obf.(k=60,1e-3)  4.3%
+            rand.spars.(p=0.64) rel.err 92.1% vs obf.(k=20,1e-4)  5.0%
+    flickr: rand.pert.(p=0.32)  rel.err 49.7% vs obf.(k=20,1e-4) 11.2%
+            rand.spars.(p=0.64) rel.err 28.6%
+
+Reproduction target: at matched anonymity, the uncertain-graph release
+always has (much) lower average relative error than the whole-edge
+randomization — the paper's driving claim.
+
+This benchmark runs the calibrated protocol: for each matchup the
+baseline's p is chosen (from the paper's grid) as the smallest value
+whose release reaches the obfuscation cell's (k, ε) anonymity.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.comparison import table6_rows
+from repro.experiments.report import render_table
+
+
+def test_table6_comparison(benchmark, cache, config):
+    rows = benchmark.pedantic(
+        lambda: table6_rows(cache.sweep(), config),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit(
+        "Table 6: obfuscation vs randomization at matched anonymity",
+        render_table(rows),
+        rows,
+        "table6_comparison.csv",
+    )
+
+    # Group rows per dataset and compare methods.
+    datasets = {r["dataset"] for r in rows}
+    checked = 0
+    for dataset in datasets:
+        local = [r for r in rows if r["dataset"] == dataset]
+        baselines = [r for r in local if r["variant"].startswith("rand.")]
+        ours = [r for r in local if r["variant"].startswith("obf.")]
+        if not baselines or not ours:
+            continue
+        checked += 1
+        # Headline claim: every obfuscation row beats every calibrated
+        # randomization row on the same dataset.
+        worst_ours = max(r["rel_err"] for r in ours)
+        best_baseline = min(r["rel_err"] for r in baselines)
+        assert worst_ours < best_baseline, (
+            dataset,
+            worst_ours,
+            best_baseline,
+        )
+    assert checked >= 1, "no dataset produced a complete matchup"

@@ -1,0 +1,85 @@
+"""Render every CSV artefact in benchmarks/results/ into one text report.
+
+Run after a benchmark pass::
+
+    python benchmarks/render_report.py
+
+Writes ``benchmarks/results/REPORT.txt`` — the regenerated paper tables
+in human-readable form (the pytest run stores the same rows as CSV; this
+collates them for side-by-side comparison with the paper's PDF).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.report import render_table
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Order in which artefacts appear in the report (paper order).
+SECTIONS = [
+    ("table2_sigma.csv", "Table 2: minimal sigma for (k, eps)-obfuscation"),
+    ("table3_throughput.csv", "Table 3: obfuscation throughput (edges/sec)"),
+    ("table4_utility.csv", "Table 4: statistic means over sampled worlds"),
+    ("table5_sem.csv", "Table 5: relative sample SEM"),
+    ("table6_comparison.csv", "Table 6: comparison vs randomization"),
+    ("fig2_distance_k20.csv", "Figure 2 (left): S_PDD, dblp k=20 eps=1e-3"),
+    ("fig2_distance_k100.csv", "Figure 2 (right): S_PDD, dblp k=100 eps=1e-4"),
+    ("fig3_degree_k20.csv", "Figure 3 (left): S_DD, dblp k=20 eps=1e-3"),
+    ("fig3_degree_k100.csv", "Figure 3 (right): S_DD, dblp k=100 eps=1e-4"),
+    ("fig4_anonymity_dblp.csv", "Figure 4: anonymity curves (dblp)"),
+    ("fig4_anonymity_flickr.csv", "Figure 4: anonymity curves (flickr)"),
+    ("ablation_uniqueness.csv", "Ablation: uniqueness vs uniform placement"),
+    ("ablation_degree_approx.csv", "Ablation: exact DP vs CLT"),
+    ("ablation_c_q.csv", "Ablation: c and q sweeps"),
+    ("ablation_sampling.csv", "Ablation: sampling error vs world count"),
+    ("ablation_belief_measure.csv", "Ablation: entropy vs belief measure"),
+    ("ext_degree_trail.csv", "Extension: degree-trail attack"),
+]
+
+
+def _load(path: Path) -> list[dict]:
+    with open(path, newline="", encoding="utf-8") as fh:
+        return [
+            {k: _coerce(v) for k, v in row.items()}
+            for row in csv.DictReader(fh)
+        ]
+
+
+def _coerce(value: str):
+    if value is None or value == "":
+        return ""
+    try:
+        f = float(value)
+    except ValueError:
+        return value
+    return int(f) if f.is_integer() and abs(f) < 1e9 and "." not in value else f
+
+
+def main() -> int:
+    """Collate all CSVs into REPORT.txt; returns the process exit code."""
+    if not RESULTS.exists():
+        print(f"no results directory at {RESULTS}; run the benchmarks first")
+        return 1
+    chunks: list[str] = []
+    for name, title in SECTIONS:
+        path = RESULTS / name
+        if not path.exists():
+            continue
+        rows = _load(path)
+        if not rows:
+            continue
+        chunks.append(render_table(rows, title=f"=== {title} ==="))
+        chunks.append("")
+    report = "\n".join(chunks)
+    out = RESULTS / "REPORT.txt"
+    out.write_text(report, encoding="utf-8")
+    print(report)
+    print(f"\nwritten to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Scenario: uncertainty injection vs whole-edge randomization (§7.3).
+
+    python examples/compare_methods.py
+
+Reproduces the paper's comparative argument on a small surrogate:
+
+1. obfuscate by uncertainty at (k, ε);
+2. calibrate random sparsification and random perturbation to reach the
+   *same* anonymity level (the Figure-4 protocol);
+3. compare how much each method damages the graph statistics.
+
+The expected outcome — the paper's headline — is that the finer-grained
+partial perturbations achieve the anonymity at a fraction of the
+utility cost.
+"""
+
+import numpy as np
+
+from repro import obfuscate_with_fallback
+from repro.baselines import (
+    original_anonymity_levels,
+    random_perturbation,
+    random_sparsification,
+    randomization_anonymity_levels,
+)
+from repro.core import compute_degree_posterior
+from repro.graphs import dblp_like
+from repro.stats import paper_statistics
+
+K, EPS = 20, 0.02
+
+
+def achieved_level(levels: np.ndarray, eps: float) -> float:
+    """Least anonymity after disregarding the ⌊ε·n⌋ weakest vertices."""
+    skip = int(np.floor(eps * len(levels)))
+    return float(np.sort(levels)[min(skip, len(levels) - 1)])
+
+
+def main() -> None:
+    graph = dblp_like(scale=0.25, seed=0)
+    stats = paper_statistics(distance_backend="anf")
+    original = {name: func(graph) for name, func in stats.items()}
+    print(f"graph: {graph.num_vertices} vertices / {graph.num_edges} edges")
+    print(f"original degree-anonymity at eps={EPS}: "
+          f"{achieved_level(original_anonymity_levels(graph), EPS):.1f}")
+
+    # --- our method ---------------------------------------------------
+    result = obfuscate_with_fallback(
+        graph, K, EPS, c_values=(2.0, 3.0, 5.0), seed=2, attempts=3, delta=1e-3
+    )
+    assert result.success, "try a larger eps or extend the c escalation chain"
+    post = compute_degree_posterior(
+        result.uncertain, width=int(graph.degrees().max()) + 2
+    )
+    ours_level = achieved_level(post.obfuscation_levels(graph.degrees()), EPS)
+
+    from repro.uncertain import WorldSampler
+
+    sampler = WorldSampler(result.uncertain)
+    rng = np.random.default_rng(5)
+    ours_means = {name: [] for name in stats}
+    for _ in range(20):
+        world = sampler.sample(seed=rng)
+        for name, func in stats.items():
+            ours_means[name].append(func(world))
+
+    # --- baselines, calibrated to the same anonymity ------------------
+    released = {}
+    for scheme, sample in (
+        ("sparsification", random_sparsification),
+        ("perturbation", random_perturbation),
+    ):
+        for p in (0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.9):
+            published = sample(graph, p, seed=11)
+            levels = randomization_anonymity_levels(graph, published, scheme, p)
+            if achieved_level(levels, EPS) >= ours_level:
+                released[scheme] = (p, published)
+                break
+
+    # --- report --------------------------------------------------------
+    def rel_err(values: dict) -> float:
+        errs = []
+        for name, ref in original.items():
+            got = values[name]
+            errs.append(abs(got - ref) / abs(ref) if ref else float(got != ref))
+        return float(np.mean(errs))
+
+    print(f"\nanonymity level matched across methods: >= {ours_level:.1f}")
+    ours = {name: float(np.mean(vals)) for name, vals in ours_means.items()}
+    print(f"{'method':<28} {'avg rel. err':>12}")
+    print(f"{'uncertainty injection':<28} {rel_err(ours):>12.2%}")
+    for scheme, (p, published) in released.items():
+        vals = {name: func(published) for name, func in stats.items()}
+        print(f"{scheme + f' (p={p})':<28} {rel_err(vals):>12.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Whole-edge randomization baselines and their anonymity analysis (§7.3)."""
+
+from repro.baselines.anonymity import (
+    binomial_pmf,
+    cumulative_anonymity_curve,
+    original_anonymity_levels,
+    perturbation_transition,
+    randomization_anonymity_levels,
+    sparsification_transition,
+)
+from repro.baselines.randomization import (
+    addition_probability,
+    random_perturbation,
+    random_sparsification,
+)
+
+__all__ = [
+    "random_sparsification",
+    "random_perturbation",
+    "addition_probability",
+    "binomial_pmf",
+    "sparsification_transition",
+    "perturbation_transition",
+    "randomization_anonymity_levels",
+    "original_anonymity_levels",
+    "cumulative_anonymity_curve",
+]

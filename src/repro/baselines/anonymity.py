@@ -1,0 +1,193 @@
+"""Entropy-based anonymity levels of randomized releases (Figure 4).
+
+To compare the uncertain-graph method against sparsification and
+perturbation "at the same level of obfuscation", the paper computes, for
+each original degree ω, the adversary's posterior over published
+vertices and measures its entropy — precisely the Definition-2 quantity,
+but under the *randomization* release model (Bonchi et al. [4]):
+
+    X_u(ω) = Pr( observed degree d'(u) | original degree ω )
+
+with the degree-transition law of the scheme:
+
+* sparsification(p):  ``d' | ω  ~  Binomial(ω, 1−p)``
+* perturbation(p):    ``d' | ω  ~  Binomial(ω, 1−p) + Binomial(n−1−ω, p_add)``
+
+Then ``Y_ω ∝ X_·(ω)`` over published vertices and the anonymity level of
+an original vertex with degree ω is ``2^{H(Y_ω)}`` — directly comparable
+with :meth:`repro.core.DegreePosterior.obfuscation_levels`.
+
+For the original (unprotected) graph the same machinery degenerates to
+``level(v) = #{u : d(u) = d(v)}`` — plain degree anonymity — which is the
+"original" curve of Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.randomization import addition_probability
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_probability
+
+
+def binomial_pmf(n: int, p: float) -> np.ndarray:
+    """Full Binomial(n, p) PMF via the stable multiplicative recurrence.
+
+    Built in log space from the largest term, so it is robust for the
+    moderate ``n`` (≤ a few thousand) used by the transition models.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    check_probability(p, "p")
+    if n == 0:
+        return np.ones(1, dtype=np.float64)
+    if p == 0.0:
+        out = np.zeros(n + 1)
+        out[0] = 1.0
+        return out
+    if p == 1.0:
+        out = np.zeros(n + 1)
+        out[n] = 1.0
+        return out
+    ks = np.arange(n + 1, dtype=np.float64)
+    log_pmf = (
+        _log_comb(n, ks)
+        + ks * math.log(p)
+        + (n - ks) * math.log1p(-p)
+    )
+    return np.exp(log_pmf)
+
+
+def _log_comb(n: int, ks: np.ndarray) -> np.ndarray:
+    """``log C(n, k)`` elementwise via lgamma."""
+    from math import lgamma
+
+    log_fact_n = lgamma(n + 1)
+    return np.array(
+        [log_fact_n - lgamma(k + 1) - lgamma(n - k + 1) for k in ks]
+    )
+
+
+def sparsification_transition(omega: int, p: float, max_observed: int) -> np.ndarray:
+    """``Pr(d' = j | ω)`` under sparsification, for j = 0..max_observed."""
+    pmf = binomial_pmf(omega, 1.0 - p)
+    out = np.zeros(max_observed + 1, dtype=np.float64)
+    keep = min(len(pmf), max_observed + 1)
+    out[:keep] = pmf[:keep]
+    return out
+
+
+def perturbation_transition(
+    omega: int, p: float, p_add: float, n: int, max_observed: int
+) -> np.ndarray:
+    """``Pr(d' = j | ω)`` under perturbation: a binomial convolution.
+
+    The surviving-edges binomial ``Binomial(ω, 1−p)`` is convolved with
+    the added-edges binomial ``Binomial(n−1−ω, p_add)``; the latter is
+    truncated where its tail mass drops below 1e-12 (p_add is tiny in
+    all the paper's configurations, so the truncation is a few terms).
+    """
+    survive = binomial_pmf(omega, 1.0 - p)
+    n_add = max(n - 1 - omega, 0)
+    added = binomial_pmf(n_add, p_add)
+    # truncate negligible tail of the addition PMF for speed
+    cumulative = np.cumsum(added)
+    cut = int(np.searchsorted(cumulative, 1.0 - 1e-12)) + 1
+    added = added[:cut]
+    conv = np.convolve(survive, added)
+    out = np.zeros(max_observed + 1, dtype=np.float64)
+    keep = min(len(conv), max_observed + 1)
+    out[:keep] = conv[:keep]
+    return out
+
+
+def _entropy_from_grouped(
+    transition_row: np.ndarray, observed_counts: np.ndarray
+) -> float:
+    """Entropy of ``Y_ω`` when vertices group by observed degree.
+
+    All vertices sharing an observed degree ``d`` share the posterior
+    weight ``T[ω, d]``; with ``c_d`` such vertices the entropy is
+    ``−Σ_d c_d · y_d · log2 y_d`` where ``y_d = T[ω,d]/Z`` and
+    ``Z = Σ_d c_d·T[ω,d]``.
+    """
+    weights = transition_row * observed_counts
+    total = weights.sum()
+    if total <= 0:
+        return 0.0
+    y = transition_row / total
+    mask = (observed_counts > 0) & (y > 0)
+    return float(-(observed_counts[mask] * y[mask] * np.log2(y[mask])).sum())
+
+
+def randomization_anonymity_levels(
+    original: Graph,
+    published: Graph,
+    scheme: str,
+    p: float,
+) -> np.ndarray:
+    """Per-original-vertex anonymity level ``2^{H(Y_{d(v)})}``.
+
+    Parameters
+    ----------
+    original:
+        The original graph G (supplies the adversary's known degrees).
+    published:
+        One randomized release (supplies the observed degrees).
+    scheme:
+        ``"sparsification"`` or ``"perturbation"``.
+    p:
+        The scheme's removal probability (the addition rate of
+        perturbation is derived from ``original`` as in the paper).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``levels[v] = 2^{H(Y_{d(v)})}`` for every vertex of G.
+    """
+    check_probability(p, "p")
+    n = original.num_vertices
+    observed = published.degrees()
+    max_observed = int(observed.max(initial=0))
+    observed_counts = np.bincount(observed, minlength=max_observed + 1).astype(
+        np.float64
+    )
+    degrees = original.degrees()
+    p_add = p * addition_probability(original)
+
+    entropy_by_degree: dict[int, float] = {}
+    for omega in np.unique(degrees):
+        omega = int(omega)
+        if scheme == "sparsification":
+            row = sparsification_transition(omega, p, max_observed)
+        elif scheme == "perturbation":
+            row = perturbation_transition(omega, p, p_add, n, max_observed)
+        else:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; use sparsification/perturbation"
+            )
+        entropy_by_degree[omega] = _entropy_from_grouped(row, observed_counts)
+    return np.exp2([entropy_by_degree[int(w)] for w in degrees])
+
+
+def original_anonymity_levels(graph: Graph) -> np.ndarray:
+    """Degree-anonymity of the unprotected graph: ``levels[v] = |P⁻¹(d_v)|``.
+
+    This is the ``2^H`` of a uniform posterior over same-degree vertices —
+    the paper's "original" curve in Figure 4 and the worked observation of
+    §3 (uniform ``Y_ω(v) = 1/k`` over ``k`` vertices with the property).
+    """
+    degrees = graph.degrees()
+    counts = np.bincount(degrees)
+    return counts[degrees].astype(np.float64)
+
+
+def cumulative_anonymity_curve(
+    levels: np.ndarray, k_grid: np.ndarray
+) -> np.ndarray:
+    """Figure 4's y-axis: #vertices with anonymity level ≤ k, per grid k."""
+    levels = np.sort(np.asarray(levels, dtype=np.float64))
+    return np.searchsorted(levels, np.asarray(k_grid, dtype=np.float64), side="right")

@@ -1,0 +1,82 @@
+"""Random sparsification and random perturbation (§7.3 comparators).
+
+Two whole-edge randomization schemes, exactly as specified in the paper
+(after Bonchi et al. [4] and Hay et al. [12]):
+
+* **random sparsification**: every edge ``e ∈ E`` is removed
+  independently with probability ``p`` (nothing is added);
+* **random perturbation**: every edge is removed with probability ``p``,
+  then every non-adjacent pair is added independently with probability
+  ``p·|E| / (C(n,2) − |E|)``, so the *expected* number of added edges
+  equals the expected number removed — expected edge count is preserved.
+
+Both publish a *certain* graph; they are the obfuscation-by-uncertainty
+method's competition in Table 6 and Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_probability
+
+
+def random_sparsification(graph: Graph, p: float, *, seed=None) -> Graph:
+    """Remove each edge independently with probability ``p``."""
+    check_probability(p, "p")
+    rng = as_rng(seed)
+    out = Graph(graph.num_vertices)
+    edges = graph.edge_array()
+    if len(edges) == 0:
+        return out
+    keep = rng.random(len(edges)) >= p
+    for u, v in edges[keep]:
+        out.add_edge(int(u), int(v))
+    return out
+
+
+def addition_probability(graph: Graph) -> float:
+    """The paper's balanced addition rate ``p_add/p = |E|/(C(n,2) − |E|)``.
+
+    Multiplied by the removal probability ``p`` this gives the per-pair
+    addition probability of :func:`random_perturbation`.
+    """
+    non_edges = graph.num_pairs - graph.num_edges
+    if non_edges <= 0:
+        return 0.0
+    return graph.num_edges / non_edges
+
+
+def random_perturbation(graph: Graph, p: float, *, seed=None) -> Graph:
+    """Remove edges w.p. ``p``; add non-edges w.p. ``p·|E|/(C(n,2)−|E|)``.
+
+    Addition uses geometric skipping over the non-edge universe, so the
+    cost is proportional to the number of *added* edges, not to
+    ``C(n, 2)``.
+    """
+    check_probability(p, "p")
+    rng = as_rng(seed)
+    out = random_sparsification(graph, p, seed=rng)
+    p_add = p * addition_probability(graph)
+    if p_add <= 0.0:
+        return out
+    n = graph.num_vertices
+    total_pairs = graph.num_pairs
+    log_q = np.log1p(-p_add) if p_add < 1.0 else None
+    idx = -1
+    while True:
+        if log_q is None:
+            idx += 1
+        else:
+            idx += 1 + int(np.floor(np.log(1.0 - rng.random()) / log_q))
+        if idx >= total_pairs:
+            break
+        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * idx)) // 2)
+        offset = idx - (u * (2 * n - u - 1)) // 2
+        v = u + 1 + int(offset)
+        # only non-edges of the ORIGINAL graph are candidates for addition
+        if not graph.has_edge(u, v) and not out.has_edge(u, v):
+            out.add_edge(u, v)
+    return out

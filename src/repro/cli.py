@@ -1,0 +1,160 @@
+"""Command-line interface: obfuscate, verify, analyse, sample.
+
+Usage (also available as ``python -m repro``)::
+
+    repro obfuscate --input graph.txt --k 20 --eps 0.05 --output release.txt
+    repro verify    --original graph.txt --release release.txt --k 20 --eps 0.05
+    repro stats     --release release.txt --worlds 100
+    repro sample    --release release.txt --output world.txt --seed 7
+
+``graph.txt`` is a whitespace edge list (``u v`` per line, ``#``
+comments); ``release.txt`` is the published uncertain graph (``u v p``
+triples).  Every subcommand prints a short human-readable report to
+stdout and exits non-zero on failure, so the tool composes in shell
+pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.obfuscation_check import is_k_eps_obfuscation
+from repro.core.search import obfuscate_with_fallback
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.stats.registry import paper_statistics
+from repro.stats.sampling import WorldStatisticsEstimator
+from repro.uncertain.io import read_uncertain_graph, write_uncertain_graph
+from repro.uncertain.sampling import sample_world
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Identity obfuscation by uncertainty injection "
+            "(Boldi, Bonchi, Gionis, Tassa; VLDB 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("obfuscate", help="compute a (k, eps)-obfuscation")
+    p.add_argument("--input", required=True, help="edge-list file of G")
+    p.add_argument("--output", required=True, help="uncertain-graph output file")
+    p.add_argument("--k", type=float, required=True, help="obfuscation level")
+    p.add_argument("--eps", type=float, required=True, help="tolerance")
+    p.add_argument("--c", type=float, default=2.0, help="candidate multiplier")
+    p.add_argument("--q", type=float, default=0.01, help="white-noise level")
+    p.add_argument("--attempts", type=int, default=5, help="tries per sigma")
+    p.add_argument("--delta", type=float, default=1e-3, help="search precision")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--escalate-c",
+        action="store_true",
+        help="retry with c=3 then c=5 if the base c cannot bracket",
+    )
+
+    p = sub.add_parser("verify", help="check Definition 2 on a release")
+    p.add_argument("--original", required=True, help="edge-list file of G")
+    p.add_argument("--release", required=True, help="uncertain-graph file")
+    p.add_argument("--k", type=float, required=True)
+    p.add_argument("--eps", type=float, required=True)
+
+    p = sub.add_parser("stats", help="statistics of a release by sampling")
+    p.add_argument("--release", required=True, help="uncertain-graph file")
+    p.add_argument("--worlds", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        default="anf",
+        choices=("anf", "exact", "sampled"),
+        help="distance-statistic backend",
+    )
+
+    p = sub.add_parser("sample", help="draw one possible world")
+    p.add_argument("--release", required=True, help="uncertain-graph file")
+    p.add_argument("--output", required=True, help="edge-list output file")
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_obfuscate(args) -> int:
+    graph = read_edge_list(args.input)
+    print(f"loaded {args.input}: n={graph.num_vertices} m={graph.num_edges}")
+    c_values = (args.c, 3.0, 5.0) if args.escalate_c else (args.c,)
+    result = obfuscate_with_fallback(
+        graph,
+        args.k,
+        args.eps,
+        c_values=c_values,
+        seed=args.seed,
+        q=args.q,
+        attempts=args.attempts,
+        delta=args.delta,
+    )
+    if not result.success:
+        print(
+            "FAILED: no (k, eps)-obfuscation found; try --escalate-c, a "
+            "larger --eps, or a smaller --k",
+            file=sys.stderr,
+        )
+        return 1
+    write_uncertain_graph(result.uncertain, args.output)
+    print(
+        f"wrote {args.output}: sigma={result.sigma:.6g} "
+        f"eps_achieved={result.eps_achieved:.6g} c={result.params.c:g} "
+        f"({result.edges_per_second:,.0f} edges/sec)"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    graph = read_edge_list(args.original)
+    release = read_uncertain_graph(args.release, n=graph.num_vertices)
+    ok = is_k_eps_obfuscation(release, graph, args.k, args.eps)
+    print(
+        f"release {'IS' if ok else 'is NOT'} a "
+        f"({args.k:g}, {args.eps:g})-obfuscation of {args.original}"
+    )
+    return 0 if ok else 2
+
+
+def _cmd_stats(args) -> int:
+    release = read_uncertain_graph(args.release)
+    print(
+        f"loaded {args.release}: n={release.num_vertices} "
+        f"candidates={release.num_candidate_pairs} "
+        f"E[edges]={release.expected_num_edges():.2f}"
+    )
+    stats = paper_statistics(distance_backend=args.backend, seed=args.seed)
+    estimator = WorldStatisticsEstimator(release, stats)
+    summaries = estimator.run(worlds=args.worlds, seed=args.seed)
+    print(f"{'statistic':<10} {'mean':>14} {'rel.SEM':>10}")
+    for name, summary in summaries.items():
+        print(f"{name:<10} {summary.mean:>14.6g} {summary.relative_sem:>10.2%}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    release = read_uncertain_graph(args.release)
+    world = sample_world(release, seed=args.seed)
+    write_edge_list(world, args.output)
+    print(f"wrote {args.output}: n={world.num_vertices} m={world.num_edges}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "obfuscate": _cmd_obfuscate,
+        "verify": _cmd_verify,
+        "stats": _cmd_stats,
+        "sample": _cmd_sample,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""Algorithm 2 — ``GenerateObfuscation``: one randomized attempt batch.
+
+Given a target σ, the routine:
+
+1. computes σ-uniqueness of every vertex (Definition 3 with θ = σ);
+2. excludes the ``⌈ε/2·n⌉`` most unique vertices (the set ``H``) from
+   all uncertainty injection;
+3. builds the sampling distribution ``Q ∝ U_σ(P(v))`` over ``V \\ H``;
+4. for each of ``t`` attempts: grows/shrinks the candidate set ``E_C``
+   from ``E`` by toggling Q-sampled pairs until ``|E_C| = c·|E|``,
+   redistributes σ into per-pair ``σ(e)`` (Eq. 7), draws perturbations
+   ``r_e ~ R_σ(e)`` (uniform for a q-fraction), and assigns
+   ``p(e) = 1 - r_e`` for true edges / ``r_e`` for non-edges;
+5. verifies Definition 2 and returns the attempt with the smallest
+   realised tolerance ``ε̃ ≤ ε`` (or ``ε̃ = ∞`` if all attempts failed).
+
+True edges that get *removed* from ``E_C`` become certain non-edges
+(``p = 0``) — the coarse whole-edge deletions that partial perturbation
+mostly, but not entirely, replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.obfuscation_check import compute_degree_posterior, tolerance_achieved
+from repro.core.perturbation import sample_perturbations
+from repro.core.types import GenerationOutcome, ObfuscationParams
+from repro.core.uniqueness import (
+    degree_uniqueness,
+    pair_uniqueness,
+    redistribute_sigma,
+)
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+from repro.utils.rng import as_rng
+
+#: Pairs are Q-sampled in batches of this size to amortise the cost of
+#: ``rng.choice`` over the vertex distribution.
+_BATCH = 4096
+
+#: Bail-out multiplier: if candidate-set construction consumes more than
+#: this many draws per needed pair, the graph is too dense/small for the
+#: requested ``c`` and we raise instead of spinning.
+_MAX_DRAW_FACTOR = 200
+
+
+def select_excluded_vertices(
+    uniqueness: np.ndarray, eps: float, n: int
+) -> np.ndarray:
+    """The set ``H``: the ``⌈ε/2·n⌉`` vertices with highest uniqueness.
+
+    Ties are broken by vertex id for determinism.  These vertices are the
+    "hopeless celebrities" of §3 — no uncertainty is spent on them, and
+    they consume (half of) the ε tolerance budget.
+    """
+    size = int(np.ceil(eps / 2.0 * n))
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((np.arange(len(uniqueness)), -uniqueness))
+    return np.sort(order[:size])
+
+
+def _build_candidate_set(
+    graph: Graph,
+    target_size: int,
+    q_probs: np.ndarray,
+    rng: np.random.Generator,
+) -> set[tuple[int, int]]:
+    """Lines 6–12 of Algorithm 2: grow E_C from E by Q-weighted toggles."""
+    n = graph.num_vertices
+    candidate: set[tuple[int, int]] = graph.edge_set()
+    max_draws = max(_MAX_DRAW_FACTOR * max(target_size, 1), 10_000)
+    draws_used = 0
+    while len(candidate) != target_size:
+        if draws_used >= max_draws:
+            raise RuntimeError(
+                f"candidate-set construction did not reach |E_C|={target_size} "
+                f"after {draws_used} draws; the graph is likely too dense for c"
+            )
+        batch = rng.choice(n, size=2 * _BATCH, p=q_probs, replace=True)
+        draws_used += 2 * _BATCH
+        for i in range(0, len(batch), 2):
+            u, v = int(batch[i]), int(batch[i + 1])
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if graph.has_edge(u, v):
+                candidate.discard(key)
+            else:
+                candidate.add(key)
+            if len(candidate) == target_size:
+                break
+    return candidate
+
+
+def generate_obfuscation(
+    graph: Graph,
+    sigma: float,
+    params: ObfuscationParams,
+    *,
+    seed=None,
+    excluded: np.ndarray | None = None,
+) -> GenerationOutcome:
+    """Run Algorithm 2 at spread σ and return the best attempt.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    sigma:
+        Uncertainty budget (standard deviation of the base perturbation
+        distribution; also the kernel width θ for uniqueness).
+    params:
+        Obfuscation parameters (k, ε, c, q, attempts, checker method).
+    seed:
+        RNG seed/stream.
+    excluded:
+        Optional externally-chosen ``H`` (the paper allows H, or part of
+        it, to be an input); defaults to the top-uniqueness selection.
+
+    Returns
+    -------
+    GenerationOutcome
+        ``eps_achieved = inf`` and ``uncertain = None`` if all ``t``
+        attempts missed the tolerance.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    m = graph.num_edges
+    if n < 2 or m == 0:
+        raise ValueError("graph must have at least two vertices and one edge")
+
+    degrees = graph.degrees()
+    uniqueness = degree_uniqueness(degrees, sigma)
+
+    if excluded is None:
+        excluded = select_excluded_vertices(uniqueness, params.eps, n)
+    else:
+        excluded = np.asarray(excluded, dtype=np.int64)
+
+    if params.weighting == "uniform":
+        # Ablation mode: ignore uniqueness for both pair sampling and the
+        # σ(e) redistribution (flat budget).
+        uniqueness = np.ones(n, dtype=np.float64)
+
+    # Q(v) ∝ U_σ(P(v)) on V \ H (Line 3, restricted per Lines 8-9).
+    q_weights = uniqueness.copy()
+    q_weights[excluded] = 0.0
+    total_weight = q_weights.sum()
+    if total_weight <= 0:
+        raise ValueError("every vertex was excluded; cannot sample candidate pairs")
+    q_probs = q_weights / total_weight
+
+    target_size = int(round(params.c * m))
+    width = int(degrees.max()) + 2  # checker needs columns only at original degrees
+
+    # Feasibility: E_C can grow at most to |E| plus the non-edges available
+    # among V \ H.  The paper's |E| ≪ |V2|/2 assumption makes this always
+    # hold on real social graphs; tiny dense graphs can violate it.
+    eligible = np.flatnonzero(q_probs > 0)
+    eligible_set = set(int(v) for v in eligible)
+    edges_within = sum(
+        1 for u, v in graph.edges() if u in eligible_set and v in eligible_set
+    )
+    available_additions = len(eligible) * (len(eligible) - 1) // 2 - edges_within
+    if target_size > m + available_additions:
+        raise ValueError(
+            f"candidate-set target c|E|={target_size} exceeds the {m} edges plus "
+            f"{available_additions} addable non-edges outside H; reduce c"
+        )
+
+    best = GenerationOutcome(
+        eps_achieved=float("inf"), uncertain=None, sigma=sigma
+    )
+    for attempt in range(params.attempts):
+        try:
+            candidate = _build_candidate_set(graph, target_size, q_probs, rng)
+        except RuntimeError:
+            # Stochastic stall (all eligible non-edges absorbed before the
+            # target was hit) — count as a failed attempt, like the paper's
+            # other per-attempt failure modes.
+            continue
+
+        pairs = np.array(sorted(candidate), dtype=np.int64)
+        us, vs = pairs[:, 0], pairs[:, 1]
+        pair_uniq = pair_uniqueness(uniqueness, us, vs)
+        pair_sigmas = redistribute_sigma(sigma, pair_uniq)
+
+        perturbations = sample_perturbations(pair_sigmas, seed=rng)
+        white = rng.random(len(pairs)) < params.q
+        if white.any():
+            perturbations[white] = rng.random(int(white.sum()))
+
+        is_edge = np.fromiter(
+            (graph.has_edge(int(u), int(v)) for u, v in pairs),
+            dtype=bool,
+            count=len(pairs),
+        )
+        probs = np.where(is_edge, 1.0 - perturbations, perturbations)
+
+        uncertain = UncertainGraph(n)
+        for (u, v), p in zip(pairs, probs):
+            uncertain.set_probability(int(u), int(v), float(p), keep_zero=True)
+
+        posterior = compute_degree_posterior(
+            uncertain, method=params.method, width=width
+        )
+        eps_attempt = tolerance_achieved(
+            uncertain, degrees, params.k, posterior=posterior
+        )
+        if eps_attempt <= params.eps and eps_attempt < best.eps_achieved:
+            best = GenerationOutcome(
+                eps_achieved=eps_attempt,
+                uncertain=uncertain,
+                sigma=sigma,
+                attempts_made=attempt + 1,
+            )
+    best.attempts_made = params.attempts
+    return best

@@ -1,0 +1,211 @@
+"""Quantifying obfuscation: the X/Y posterior matrices and Definition 2.
+
+Given an uncertain graph, ``X_v(ω)`` is the probability that vertex ``v``
+has degree ``ω`` across possible worlds (Equation 2; for the degree
+property this is exactly the Poisson-binomial PMF of §4).  Normalising a
+*column* gives ``Y_ω(v)`` — the adversary's posterior over published
+vertices for a target known to have degree ``ω`` in the original graph
+(Equation 3).
+
+Definition 2: ``G̃`` k-obfuscates ``v`` iff ``H(Y_{P(v)}) ≥ log2 k``, and
+is a (k, ε)-obfuscation iff at least ``(1-ε)·n`` vertices are
+k-obfuscated.
+
+The checker computes one posterior column per *distinct* original degree
+(vertices sharing a degree share a column), which is what makes the
+verification loop inside Algorithm 2 affordable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.degree_distribution import degree_pmf
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+from repro.utils.entropy import entropy_bits
+
+
+class DegreePosterior:
+    """Dense ``X_v(ω)`` matrix with entropy/obfuscation queries.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, width)`` array; row ``v`` holds ``Pr(d_v = ω)`` for
+        ``ω < width``.  When ``width`` truncates a vertex's support the
+        dropped tail mass is *discarded* (never lumped), so every stored
+        entry is the exact point probability; truncated rows may sum to
+        less than 1, which is harmless because posterior columns are
+        normalised independently.
+
+    Notes
+    -----
+    An all-zero column means no vertex can attain that degree in any
+    world.  Definition 2 leaves this case implicit; we treat it as *not*
+    obfuscated (entropy 0): an adversary holding an impossible property
+    value learns the release is inconsistent with its target, which the
+    obfuscation algorithm must not count as protection.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("posterior matrix must be 2-D (vertices × degrees)")
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The raw ``(n, width)`` X matrix."""
+        return self._matrix
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of rows (vertices)."""
+        return self._matrix.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Number of degree columns."""
+        return self._matrix.shape[1]
+
+    def x_row(self, v: int) -> np.ndarray:
+        """``X_v(·)`` — degree distribution of vertex ``v``."""
+        return self._matrix[v]
+
+    def x_column(self, omega: int) -> np.ndarray:
+        """Unnormalised column ``X_·(ω)``; zeros if ω is out of range."""
+        if not 0 <= omega < self.width:
+            return np.zeros(self.num_vertices, dtype=np.float64)
+        return self._matrix[:, omega]
+
+    def y_column(self, omega: int) -> np.ndarray:
+        """``Y_ω(·)`` — the adversary posterior (Equation 3).
+
+        Raises
+        ------
+        ValueError
+            If the column has zero total mass (posterior undefined).
+        """
+        col = self.x_column(omega)
+        total = col.sum()
+        if total <= 0.0:
+            raise ValueError(f"degree {omega} is unattainable; posterior undefined")
+        return col / total
+
+    def column_entropy(self, omega: int) -> float:
+        """``H(Y_ω)`` in bits; 0.0 for unattainable degrees (see class notes)."""
+        col = self.x_column(omega)
+        if col.sum() <= 0.0:
+            return 0.0
+        return entropy_bits(col, normalize=True)
+
+    def entropy_by_degree(self, degrees: np.ndarray) -> dict[int, float]:
+        """``H(Y_ω)`` for every distinct value in ``degrees``."""
+        return {int(w): self.column_entropy(int(w)) for w in np.unique(degrees)}
+
+    def obfuscation_entropies(self, degrees: np.ndarray) -> np.ndarray:
+        """Per-vertex entropy ``H(Y_{P(v)})`` for original degrees ``P(v)``."""
+        degrees = np.asarray(degrees, dtype=np.int64)
+        if degrees.shape[0] != self.num_vertices:
+            raise ValueError("need one original degree per vertex")
+        by_degree = self.entropy_by_degree(degrees)
+        return np.array([by_degree[int(w)] for w in degrees], dtype=np.float64)
+
+    def obfuscation_levels(self, degrees: np.ndarray) -> np.ndarray:
+        """Per-vertex obfuscation level ``2^{H(Y_{P(v)})}`` ("effective k").
+
+        On a certain graph this equals the number of vertices sharing the
+        degree, recovering plain k-anonymity counts; Figure 4 of the paper
+        plots cumulative counts of exactly this quantity.
+        """
+        return np.exp2(self.obfuscation_entropies(degrees))
+
+    def k_obfuscated(self, degrees: np.ndarray, k: float) -> np.ndarray:
+        """Boolean mask: which vertices are k-obfuscated (Definition 2)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self.obfuscation_entropies(degrees) >= math.log2(k) - 1e-12
+
+
+def compute_degree_posterior(
+    uncertain: UncertainGraph,
+    *,
+    method: str = "auto",
+    width: int | None = None,
+) -> DegreePosterior:
+    """Build the ``X_v(ω)`` matrix of an uncertain graph.
+
+    Parameters
+    ----------
+    uncertain:
+        The published uncertain graph.
+    method:
+        PMF computation method (see :func:`repro.core.degree_pmf`):
+        ``"exact"``, ``"normal"``, or ``"auto"``.
+    width:
+        Number of degree columns (default: max support over vertices,
+        plus one, i.e. no truncation).  Passing the max original degree
+        plus one keeps the matrix small when only Definition-2 checks are
+        needed; truncated tail mass is discarded, never lumped.
+
+    Returns
+    -------
+    DegreePosterior
+    """
+    n = uncertain.num_vertices
+    prob_vectors = [uncertain.incident_probabilities(v) for v in range(n)]
+    if width is None:
+        max_support = max((len(p) for p in prob_vectors), default=0)
+        width = max_support + 1
+    matrix = np.zeros((n, width), dtype=np.float64)
+    for v, probs in enumerate(prob_vectors):
+        matrix[v] = degree_pmf(probs, method=method, support=width - 1)
+    return DegreePosterior(matrix)
+
+
+def tolerance_achieved(
+    uncertain: UncertainGraph,
+    original_degrees: np.ndarray,
+    k: float,
+    *,
+    method: str = "auto",
+    posterior: DegreePosterior | None = None,
+) -> float:
+    """``ε' = |{v not k-obfuscated}| / n`` (Line 20 of Algorithm 2).
+
+    Parameters
+    ----------
+    uncertain:
+        Candidate release.
+    original_degrees:
+        ``P(v)`` — degrees in the original graph G (the adversary's
+        background knowledge).
+    k:
+        Required obfuscation level.
+    method:
+        Degree-PMF method forwarded to :func:`compute_degree_posterior`.
+    posterior:
+        Pre-computed posterior to reuse, if available.
+    """
+    original_degrees = np.asarray(original_degrees, dtype=np.int64)
+    if posterior is None:
+        width = max(int(original_degrees.max(initial=0)) + 1, 1)
+        posterior = compute_degree_posterior(uncertain, method=method, width=width)
+    mask = posterior.k_obfuscated(original_degrees, k)
+    return float((~mask).sum()) / max(len(mask), 1)
+
+
+def is_k_eps_obfuscation(
+    uncertain: UncertainGraph,
+    original: Graph | np.ndarray,
+    k: float,
+    eps: float,
+    *,
+    method: str = "auto",
+) -> bool:
+    """Definition 2 verdict: is ``uncertain`` a (k, ε)-obfuscation of G?"""
+    degrees = original.degrees() if isinstance(original, Graph) else original
+    return tolerance_achieved(uncertain, degrees, k, method=method) <= eps

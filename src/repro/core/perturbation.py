@@ -1,0 +1,111 @@
+"""The perturbation distribution ``R_σ`` (Equation 6) and its sampler.
+
+``R_σ`` is the standard normal ``N(0, σ²)`` truncated to ``[0, 1]`` —
+i.e. density proportional to ``exp(-r²/(2σ²))`` on the unit interval.
+Small σ concentrates mass near 0 (little injected uncertainty); large σ
+flattens towards uniform.
+
+The vectorised sampler supports a *different* σ per element because
+Algorithm 2 redistributes the global budget into per-pair ``σ(e)``
+values (Eq. 7).  Strategy:
+
+* ``σ = 0`` → exactly 0 (no perturbation).
+* ``σ ≥ UNIFORM_THRESHOLD`` → uniform on [0, 1]; at σ = 8 the density
+  ratio between the endpoints is ``exp(-1/128) ≈ 0.992``, so the
+  truncated normal is within 0.8% of uniform and rejection would waste
+  ~10 draws per sample for no accuracy gain.
+* otherwise → rejection sampling from ``|N(0, σ)|`` with acceptance
+  ``erf(1/(σ√2))`` (≥ 0.68 for σ ≤ 1), which is exact and needs no
+  inverse-erf dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+#: σ above which R_σ is replaced by the uniform distribution (see module
+#: docstring for the accuracy argument).
+UNIFORM_THRESHOLD = 8.0
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def truncated_normal_pdf(r: np.ndarray, sigma: float) -> np.ndarray:
+    """Density of ``R_σ`` (Equation 6): Gaussian renormalised on [0, 1]."""
+    r = np.asarray(r, dtype=np.float64)
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        raise ValueError("R_0 is a point mass at 0; density undefined")
+    # ∫_0^1 φ_{0,σ} = erf(1/(σ√2)) / 2
+    mass = 0.5 * math.erf(1.0 / (sigma * _SQRT2))
+    density = np.exp(-(r**2) / (2.0 * sigma * sigma)) / (sigma * _SQRT_2PI)
+    out = np.where((r >= 0.0) & (r <= 1.0), density / mass, 0.0)
+    return out
+
+
+def truncated_normal_cdf(r: np.ndarray, sigma: float) -> np.ndarray:
+    """CDF of ``R_σ`` on [0, 1] (clamped outside)."""
+    r = np.asarray(r, dtype=np.float64)
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    total = math.erf(1.0 / (sigma * _SQRT2))
+    clipped = np.clip(r, 0.0, 1.0)
+    flat = np.ravel(clipped)
+    vals = np.array([math.erf(x / (sigma * _SQRT2)) for x in flat])
+    return vals.reshape(np.shape(clipped)) / total
+
+
+def truncated_normal_mean(sigma: float) -> float:
+    """Exact mean of ``R_σ``: ``σ·√(2/π)·(1 - e^{-1/(2σ²)}) / erf(1/(σ√2))``."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    num = sigma * math.sqrt(2.0 / math.pi) * (1.0 - math.exp(-1.0 / (2.0 * sigma**2)))
+    return num / math.erf(1.0 / (sigma * _SQRT2))
+
+
+def sample_perturbations(sigmas: np.ndarray, *, seed=None) -> np.ndarray:
+    """Draw one ``r_e ~ R_{σ(e)}`` per entry of ``sigmas``.
+
+    Parameters
+    ----------
+    sigmas:
+        Per-pair spread parameters, each ≥ 0 (0 yields exactly 0).
+    seed:
+        Anything accepted by :func:`repro.utils.as_rng`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Samples in ``[0, 1]``, same shape as ``sigmas``.
+    """
+    sigmas = np.asarray(sigmas, dtype=np.float64)
+    if sigmas.size and sigmas.min() < 0:
+        raise ValueError("sigma values must be non-negative")
+    rng = as_rng(seed)
+    out = np.zeros(sigmas.shape, dtype=np.float64)
+
+    flat_sigma = sigmas.ravel()
+    flat_out = out.ravel()
+
+    uniform_mask = flat_sigma >= UNIFORM_THRESHOLD
+    if uniform_mask.any():
+        flat_out[uniform_mask] = rng.random(int(uniform_mask.sum()))
+
+    todo = np.flatnonzero((flat_sigma > 0.0) & ~uniform_mask)
+    while todo.size:
+        draws = np.abs(rng.normal(0.0, flat_sigma[todo]))
+        accepted = draws <= 1.0
+        flat_out[todo[accepted]] = draws[accepted]
+        todo = todo[~accepted]
+    return flat_out.reshape(sigmas.shape)
+
+
+def sample_perturbation(sigma: float, *, seed=None) -> float:
+    """Scalar convenience wrapper around :func:`sample_perturbations`."""
+    return float(sample_perturbations(np.array([sigma]), seed=seed)[0])

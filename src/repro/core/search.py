@@ -1,0 +1,153 @@
+"""Algorithm 1 — minimal-uncertainty (k, ε)-obfuscation via binary search.
+
+The driver doubles an initial σ upper bound until Algorithm 2 succeeds
+(or the :class:`~repro.core.types.ObfuscationParams.sigma_max` cap is
+hit), then bisects ``[0, σ_u]`` down to width ``delta``, keeping the
+*last successful* — i.e. smallest-σ — obfuscation found.  Smaller σ means
+less injected uncertainty, hence higher utility; the search realises the
+paper's "inject the minimal amount of uncertainty" objective.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.generate import generate_obfuscation
+from repro.core.types import (
+    GenerationOutcome,
+    ObfuscationParams,
+    ObfuscationResult,
+    SearchStep,
+)
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+
+
+def obfuscate(
+    graph: Graph,
+    k: float,
+    eps: float,
+    *,
+    params: ObfuscationParams | None = None,
+    seed=None,
+    **overrides,
+) -> ObfuscationResult:
+    """Compute a minimal-σ (k, ε)-obfuscation of ``graph`` (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    k, eps:
+        Privacy requirement of Definition 2.
+    params:
+        Full parameter bundle; if omitted one is built from ``k``,
+        ``eps`` and keyword ``overrides`` (e.g. ``c=3, q=0.05,
+        delta=1e-4``).
+    seed:
+        RNG seed/stream; every Algorithm-2 probe draws from it in
+        sequence, so a fixed seed reproduces the entire search.
+
+    Returns
+    -------
+    ObfuscationResult
+        ``success`` is False when even ``σ = sigma_max`` cannot reach the
+        tolerance — the paper's remedy is retrying with larger ``c``
+        (see Table 2's (*) entries).
+
+    Examples
+    --------
+    >>> from repro.graphs import erdos_renyi
+    >>> g = erdos_renyi(60, 0.15, seed=1)
+    >>> result = obfuscate(g, k=3, eps=0.2, seed=7, attempts=2, delta=0.05)
+    >>> result.success
+    True
+    """
+    if params is None:
+        params = ObfuscationParams(k=k, eps=eps, **overrides)
+    elif overrides:
+        raise TypeError("pass either a params bundle or keyword overrides, not both")
+    rng = as_rng(seed)
+    t0 = time.perf_counter()
+    trace: list[SearchStep] = []
+    target_pairs = int(round(params.c * graph.num_edges))
+    edges_processed = 0
+
+    def probe(sigma: float, phase: str) -> GenerationOutcome:
+        """One Algorithm-2 evaluation, recorded in the search trace."""
+        nonlocal edges_processed
+        outcome = generate_obfuscation(graph, sigma, params, seed=rng)
+        edges_processed += target_pairs * params.attempts
+        trace.append(
+            SearchStep(sigma=sigma, eps_achieved=outcome.eps_achieved, phase=phase)
+        )
+        return outcome
+
+    # Phase 1 (Lines 1-6): double σ_u until a (k, ε)-obfuscation appears.
+    sigma_upper = params.sigma_init
+    found: GenerationOutcome | None = None
+    while True:
+        outcome = probe(sigma_upper, "doubling")
+        if outcome.success:
+            found = outcome
+            break
+        sigma_upper *= 2.0
+        if sigma_upper > params.sigma_max:
+            return ObfuscationResult(
+                uncertain=None,
+                sigma=float("nan"),
+                eps_achieved=float("inf"),
+                params=params,
+                trace=trace,
+                edges_processed=edges_processed,
+                elapsed_seconds=time.perf_counter() - t0,
+            )
+
+    # Phase 2 (Lines 7-12): bisect [0, σ_u], keeping the smallest success.
+    sigma_lower = 0.0
+    while sigma_lower + params.delta < sigma_upper:
+        sigma_mid = 0.5 * (sigma_lower + sigma_upper)
+        outcome = probe(sigma_mid, "bisection")
+        if outcome.success:
+            found = outcome
+            sigma_upper = sigma_mid
+        else:
+            sigma_lower = sigma_mid
+
+    assert found is not None  # guaranteed by phase 1
+    return ObfuscationResult(
+        uncertain=found.uncertain,
+        sigma=found.sigma,
+        eps_achieved=found.eps_achieved,
+        params=params,
+        trace=trace,
+        edges_processed=edges_processed,
+        elapsed_seconds=time.perf_counter() - t0,
+    )
+
+
+def obfuscate_with_fallback(
+    graph: Graph,
+    k: float,
+    eps: float,
+    *,
+    c_values: tuple[float, ...] = (2.0, 3.0),
+    seed=None,
+    **overrides,
+) -> ObfuscationResult:
+    """Run :func:`obfuscate`, escalating ``c`` on failure (§7.1 protocol).
+
+    The paper marks Table-2 entries where ``c = 2`` could not bracket a
+    feasible σ and ``c = 3`` resolved it; this helper automates exactly
+    that escalation and records the ``c`` actually used in the returned
+    result's ``params``.
+    """
+    rng = as_rng(seed)
+    result: ObfuscationResult | None = None
+    for c in c_values:
+        params = ObfuscationParams(k=k, eps=eps, c=c, **overrides)
+        result = obfuscate(graph, k, eps, params=params, seed=rng)
+        if result.success:
+            return result
+    assert result is not None
+    return result

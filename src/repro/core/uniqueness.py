@@ -1,0 +1,156 @@
+"""θ-commonness and θ-uniqueness of property values (Definition 3).
+
+The commonness of a property value ω is a Gaussian-kernel-weighted count
+of how many vertices carry nearby values:
+
+    C_θ(ω) = Σ_v Φ_{0,θ}(d(ω, P(v))),      U_θ(ω) = 1 / C_θ(ω)
+
+The paper notes these are meaningful *only as relative measures* — every
+downstream use (selecting the excluded set H, the sampling distribution
+Q, and the σ(e) redistribution of Eq. 7) consumes ratios of uniqueness
+values.  We therefore drop the constant ``1/(θ·√(2π))`` prefactor of the
+Gaussian density and use the kernel ``exp(-d²/(2θ²))``: all ratios are
+unchanged, and the θ → 0 limit degrades gracefully to exact-match counts
+(the kernel becomes an indicator) instead of overflowing.
+
+For the degree property the computation is a histogram convolution,
+``O(D²)`` for maximum degree D; a generic-property entry point accepts an
+arbitrary distance callable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+def gaussian_kernel(distance: np.ndarray, theta: float) -> np.ndarray:
+    """Unnormalised Gaussian kernel ``exp(-d² / (2θ²))``.
+
+    ``θ = 0`` degenerates to the exact-match indicator ``1{d == 0}``.
+    """
+    distance = np.asarray(distance, dtype=np.float64)
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    if theta == 0.0:
+        return (distance == 0.0).astype(np.float64)
+    # Normalise first (z = d/θ) so that subnormal θ cannot underflow θ²
+    # into a 0/0 NaN; z may overflow to inf, which exp(-z²/2) maps to 0.
+    with np.errstate(under="ignore", over="ignore"):
+        z = distance / theta
+        return np.exp(-0.5 * z * z)
+
+
+def degree_commonness(degrees: np.ndarray, theta: float) -> np.ndarray:
+    """``C_θ(ω)`` for every degree value ``ω ∈ {0, ..., max degree}``.
+
+    Parameters
+    ----------
+    degrees:
+        Original degree sequence ``P(v)`` of the graph.
+    theta:
+        Kernel width; the obfuscation algorithm sets ``θ = σ`` (§5.2).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``commonness[ω] = Σ_v exp(-(ω - d_v)²/(2θ²))``, length
+        ``max(degrees) + 1``.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if np.any(degrees < 0):
+        raise ValueError("degrees must be non-negative")
+    max_deg = int(degrees.max())
+    hist = np.bincount(degrees, minlength=max_deg + 1).astype(np.float64)
+    omegas = np.arange(max_deg + 1, dtype=np.float64)
+    # Pairwise |ω - ω'| kernel against the histogram: O(D²) with D = max degree.
+    diff = omegas[:, None] - omegas[None, :]
+    kernel = gaussian_kernel(diff, theta)
+    return kernel @ hist
+
+
+def degree_uniqueness(degrees: np.ndarray, theta: float) -> np.ndarray:
+    """Per-vertex uniqueness ``U_θ(P(v)) = 1 / C_θ(P(v))``.
+
+    Every attained degree has commonness ≥ 1 (the vertex's own kernel
+    contribution), so the result is finite and lies in ``(0, 1]``.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    commonness = degree_commonness(degrees, theta)
+    return 1.0 / commonness[degrees]
+
+
+def property_commonness(
+    values: Sequence,
+    theta: float,
+    distance: Callable[[object, object], float],
+) -> np.ndarray:
+    """Generic-property commonness for arbitrary value domains.
+
+    Evaluates ``C_θ(P(v))`` for every vertex by summing the Gaussian
+    kernel of pairwise distances between *distinct* values, weighted by
+    their multiplicities — ``O(D²)`` distance evaluations for D distinct
+    values.  This is the extension point for properties like the
+    radius-one subgraph (edit distance) mentioned in §5.2.
+
+    Parameters
+    ----------
+    values:
+        ``P(v)`` per vertex; values must be hashable.
+    theta:
+        Kernel width.
+    distance:
+        Symmetric distance ``d(ω, ω') ≥ 0`` on the property domain.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``commonness[v] = C_θ(P(v))`` per vertex.
+    """
+    distinct: list = []
+    counts: list[int] = []
+    index: dict = {}
+    for val in values:
+        if val not in index:
+            index[val] = len(distinct)
+            distinct.append(val)
+            counts.append(0)
+        counts[index[val]] += 1
+    d = len(distinct)
+    dist_matrix = np.zeros((d, d), dtype=np.float64)
+    for i in range(d):
+        for j in range(i + 1, d):
+            dist_matrix[i, j] = dist_matrix[j, i] = float(
+                distance(distinct[i], distinct[j])
+            )
+    kernel = gaussian_kernel(dist_matrix, theta)
+    per_value = kernel @ np.asarray(counts, dtype=np.float64)
+    return np.array([per_value[index[val]] for val in values], dtype=np.float64)
+
+
+def pair_uniqueness(
+    vertex_uniqueness: np.ndarray, us: np.ndarray, vs: np.ndarray
+) -> np.ndarray:
+    """``U_σ(e) = (U_σ(P(u)) + U_σ(P(v))) / 2`` for pair arrays (§5.3)."""
+    vertex_uniqueness = np.asarray(vertex_uniqueness, dtype=np.float64)
+    return 0.5 * (vertex_uniqueness[us] + vertex_uniqueness[vs])
+
+
+def redistribute_sigma(
+    sigma: float, pair_uniq: np.ndarray
+) -> np.ndarray:
+    """Equation 7: spread the uncertainty budget σ over candidate pairs.
+
+    ``σ(e) = σ·|E_C|·U_σ(e) / Σ_{e'} U_σ(e')`` — the mean of the returned
+    vector equals ``σ`` exactly, with more-unique pairs receiving more.
+    """
+    pair_uniq = np.asarray(pair_uniq, dtype=np.float64)
+    if pair_uniq.size == 0:
+        return pair_uniq.copy()
+    total = pair_uniq.sum()
+    if total <= 0:
+        raise ValueError("pair uniqueness values must have positive total mass")
+    return sigma * pair_uniq.size * pair_uniq / total

@@ -1,0 +1,67 @@
+"""Experiment harness: every paper table and figure as a callable runner."""
+
+from repro.experiments.comparison import (
+    DEFAULT_P_GRID,
+    achieved_k,
+    baseline_utility_row,
+    calibrate_randomization,
+    obfuscation_utility_row,
+    table6_rows,
+)
+from repro.experiments.config import (
+    PAPER_EPS_VALUES,
+    PAPER_K_VALUES,
+    ExperimentConfig,
+    quick_config,
+    scaled_eps,
+)
+from repro.experiments.figures import (
+    BoxplotSeries,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+)
+from repro.experiments.harness import (
+    SweepEntry,
+    evaluate_utility,
+    run_obfuscation_sweep,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from repro.experiments.report import (
+    render_boxplot_series,
+    render_curves,
+    render_table,
+    save_csv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "quick_config",
+    "scaled_eps",
+    "PAPER_K_VALUES",
+    "PAPER_EPS_VALUES",
+    "SweepEntry",
+    "run_obfuscation_sweep",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "table6_rows",
+    "evaluate_utility",
+    "achieved_k",
+    "calibrate_randomization",
+    "baseline_utility_row",
+    "obfuscation_utility_row",
+    "DEFAULT_P_GRID",
+    "BoxplotSeries",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "render_table",
+    "render_boxplot_series",
+    "render_curves",
+    "save_csv",
+]

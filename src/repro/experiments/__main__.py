@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` regenerates all tables/figures."""
+
+import sys
+
+from repro.experiments.runall import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Table 6 / Figure 4 machinery: matching and beating the baselines.
+
+The paper's comparative protocol (§7.3):
+
+1. pick a randomization parameter ``p`` whose release reaches the same
+   (k, ε) anonymity as the uncertain-graph obfuscation — the achieved
+   ``k`` of a release is the least anonymity level after disregarding
+   the ``ε·n`` least-anonymous vertices;
+2. sample releases (the paper used 50), compute every statistic on each,
+   and compare means against the original values;
+3. report the average relative error per method — Table 6 — and the
+   cumulative anonymity curves — Figure 4.
+
+:func:`calibrate_randomization` automates step 1 with a monotone scan
+over a ``p`` grid (the paper hand-picked from the same {0.04, 0.32,
+0.64} family).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.anonymity import (
+    original_anonymity_levels,
+    randomization_anonymity_levels,
+)
+from repro.baselines.randomization import random_perturbation, random_sparsification
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import SweepEntry, evaluate_utility
+from repro.graphs.graph import Graph
+from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
+from repro.utils.rng import as_rng
+
+#: Default calibration grid, containing the paper's hand-picked values.
+DEFAULT_P_GRID: tuple[float, ...] = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.9)
+
+
+def _sample_release(graph: Graph, scheme: str, p: float, rng) -> Graph:
+    if scheme == "sparsification":
+        return random_sparsification(graph, p, seed=rng)
+    if scheme == "perturbation":
+        return random_perturbation(graph, p, seed=rng)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def achieved_k(
+    graph: Graph, scheme: str, p: float, eps: float, *, releases: int = 3, seed=None
+) -> float:
+    """Anonymity level a randomized scheme reaches at tolerance ε.
+
+    Averages over ``releases`` sampled releases the quantity "least
+    anonymity after disregarding the ⌊ε·n⌋ least-anonymous vertices".
+    """
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    skip = int(np.floor(eps * n))
+    values = []
+    for _ in range(releases):
+        published = _sample_release(graph, scheme, p, rng)
+        levels = np.sort(randomization_anonymity_levels(graph, published, scheme, p))
+        values.append(levels[min(skip, n - 1)])
+    return float(np.mean(values))
+
+
+def calibrate_randomization(
+    graph: Graph,
+    scheme: str,
+    k: float,
+    eps: float,
+    *,
+    p_grid: tuple[float, ...] = DEFAULT_P_GRID,
+    releases: int = 3,
+    seed=None,
+) -> float:
+    """Smallest grid ``p`` whose release achieves anonymity ≥ k at tolerance ε.
+
+    Returns ``nan`` when even the largest grid value falls short (the
+    Hay-et-al. regime where randomization cannot reach the target
+    without destroying the graph).
+    """
+    rng = as_rng(seed)
+    for p in p_grid:
+        if achieved_k(graph, scheme, p, eps, releases=releases, seed=rng) >= k:
+            return p
+    return float("nan")
+
+
+def baseline_utility_row(
+    graph: Graph,
+    scheme: str,
+    p: float,
+    config: ExperimentConfig,
+    *,
+    label: str | None = None,
+) -> dict:
+    """Mean statistics over sampled releases + avg relative error vs original."""
+    stats = paper_statistics(
+        distance_backend=config.distance_backend, seed=config.seed
+    )
+    original = {name: float(func(graph)) for name, func in stats.items()}
+    rng = as_rng((config.seed, hash(scheme) & 0xFFFF))
+    sums = {name: [] for name in PAPER_STATISTIC_NAMES}
+    for _ in range(config.baseline_samples):
+        released = _sample_release(graph, scheme, p, rng)
+        for name, func in stats.items():
+            sums[name].append(float(func(released)))
+    row: dict = {"variant": label or f"{scheme} p={p}"}
+    rel = []
+    for name in PAPER_STATISTIC_NAMES:
+        mean = float(np.mean(sums[name]))
+        row[name] = mean
+        ref = original[name]
+        rel.append(abs(mean - ref) / abs(ref) if ref != 0 else float(mean != ref))
+    row["rel_err"] = float(np.mean(rel))
+    return row
+
+
+def obfuscation_utility_row(
+    entry: SweepEntry, config: ExperimentConfig, *, label: str | None = None
+) -> dict:
+    """Table-6 row for the uncertain-graph method at one sweep cell."""
+    graph = entry.graph
+    stats = paper_statistics(
+        distance_backend=config.distance_backend, seed=config.seed
+    )
+    original = {name: float(func(graph)) for name, func in stats.items()}
+    summaries = evaluate_utility(entry, config)
+    row: dict = {
+        "variant": label or f"obf. (k={entry.k}, eps={entry.paper_eps:g})"
+    }
+    rel = []
+    for name in PAPER_STATISTIC_NAMES:
+        mean = summaries[name].mean
+        row[name] = mean
+        ref = original[name]
+        rel.append(abs(mean - ref) / abs(ref) if ref != 0 else float(mean != ref))
+    row["rel_err"] = float(np.mean(rel))
+    return row
+
+
+def original_row(graph: Graph, config: ExperimentConfig) -> dict:
+    """The "original" reference row of Table 6."""
+    stats = paper_statistics(
+        distance_backend=config.distance_backend, seed=config.seed
+    )
+    row: dict = {"variant": "original"}
+    row.update({name: float(func(graph)) for name, func in stats.items()})
+    row["rel_err"] = 0.0
+    return row
+
+
+def table6_rows(
+    sweep: list[SweepEntry],
+    config: ExperimentConfig,
+    *,
+    matchups: list[dict] | None = None,
+) -> list[dict]:
+    """Full Table 6: original vs randomization vs obfuscation per dataset.
+
+    ``matchups`` entries have keys ``dataset``, ``scheme``, ``k``,
+    ``paper_eps`` (the obfuscation cell to match) and optionally a fixed
+    ``p``; when ``p`` is absent it is calibrated.  The default matchups
+    are the paper's §7.3 cases, restricted to datasets present in the
+    sweep.
+    """
+    if matchups is None:
+        # The paper's §7.3 cases, with one adaptation: its dblp
+        # perturbation matchup used (k = 60, ε = 10⁻³), but under the
+        # count-preserving ε rescale (EXPERIMENTS.md) the loose-ε cells
+        # tolerate ~10% of the surrogate's vertices, which any tiny p
+        # "achieves" — a degenerate calibration target.  All default
+        # matchups therefore use the strict ε = 10⁻⁴ cells, which keep
+        # both the tolerated count and a meaningful fraction.
+        matchups = [
+            {"dataset": "dblp", "scheme": "perturbation", "k": 20, "paper_eps": 1e-4},
+            {"dataset": "dblp", "scheme": "sparsification", "k": 20, "paper_eps": 1e-4},
+            {"dataset": "flickr", "scheme": "perturbation", "k": 20, "paper_eps": 1e-4},
+            {
+                "dataset": "flickr",
+                "scheme": "sparsification",
+                "k": 20,
+                "paper_eps": 1e-4,
+            },
+        ]
+    by_cell = {(e.dataset, e.k, e.paper_eps): e for e in sweep}
+    rows: list[dict] = []
+    seen_datasets: set[str] = set()
+    for match in matchups:
+        dataset = match["dataset"]
+        cell = by_cell.get((dataset, match["k"], match["paper_eps"]))
+        if cell is None or not cell.result.success:
+            continue
+        graph = cell.graph
+        if dataset not in seen_datasets:
+            row = original_row(graph, config)
+            row["dataset"] = dataset
+            rows.append(row)
+            seen_datasets.add(dataset)
+        p = match.get("p")
+        if p is None:
+            p = calibrate_randomization(
+                graph,
+                match["scheme"],
+                match["k"],
+                cell.eps_used,
+                seed=(config.seed, 17),
+            )
+        if not np.isnan(p):
+            row = baseline_utility_row(
+                graph,
+                match["scheme"],
+                p,
+                config,
+                label=f"rand.{match['scheme'][:5]}. (p={p:g})",
+            )
+            row["dataset"] = dataset
+            rows.append(row)
+        row = obfuscation_utility_row(cell, config)
+        row["dataset"] = dataset
+        rows.append(row)
+    return rows

@@ -1,0 +1,120 @@
+"""Experiment configuration mirroring §7.1 of the paper.
+
+The parameter grid is the paper's — ``k ∈ {20, 60, 100}``,
+``ε ∈ {10⁻³, 10⁻⁴}``, ``q = 0.01``, ``c = 2`` with ``c = 3`` fallback —
+with one documented adaptation: **ε is rescaled to preserve the
+tolerance budget in vertex counts.**  The paper's ε is a fraction of
+``n``; on dblp (n = 226,413) ε = 10⁻³ licenses ≈ 226 under-obfuscated
+vertices.  Our surrogates are ~50× smaller, so the same fraction would
+license *less than one* vertex — a strictly harsher requirement than the
+paper evaluated, and one that no amount of uncertainty can satisfy for
+heavy-tail hubs.  ``scaled_eps`` therefore maps each paper ε to the
+fraction that yields the same *number* of tolerated vertices at the
+surrogate's size (see EXPERIMENTS.md for the numerical mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.datasets import DATASET_SPECS, load_dataset
+from repro.graphs.graph import Graph
+
+#: The paper's obfuscation levels (§7.1).
+PAPER_K_VALUES: tuple[int, ...] = (20, 60, 100)
+
+#: The paper's tolerance values (§7.1); keys of the ε rescaling.
+PAPER_EPS_VALUES: tuple[float, ...] = (1e-3, 1e-4)
+
+
+def scaled_eps(paper_eps: float, dataset: str, n_actual: int) -> float:
+    """Rescale a paper ε to preserve the tolerated-vertex *count*.
+
+    ``ε_scaled = ε_paper · n_paper / n_actual``, capped at 0.5.
+    At ``scale = 1`` for dblp this sends 10⁻³ → ≈ 0.05 (≈ 226 vertices
+    either way).
+    """
+    spec = DATASET_SPECS[dataset]
+    return min(0.5, paper_eps * spec.paper_n / max(n_actual, 1))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every table/figure runner.
+
+    Attributes
+    ----------
+    datasets:
+        Which surrogates to run (paper order: dblp, flickr, Y360).
+    scale:
+        Surrogate size multiplier (1.0 ≈ 1/50th of the paper's graphs).
+    k_values / eps_values:
+        The privacy grid; ``eps_values`` are *paper* values, rescaled per
+        dataset by :func:`scaled_eps` at run time.
+    c, q:
+        Candidate-set multiplier and white-noise level (§7.1 defaults).
+    c_chain:
+        Escalation sequence tried in order when ``c`` fails to bracket a
+        feasible σ — the paper's Table 2 resolves such cells with c = 3;
+        our smaller surrogates occasionally need c = 5 for the hardest
+        (flickr, k = 100) cell, for the same structural reason (too few
+        near-hub vertices to blend with).
+    attempts:
+        Algorithm-2 tries per σ probe (paper: 5).
+    delta:
+        Binary-search width; the paper's effective floor was 2⁻²⁴, ours
+        is coarser by default to keep sweeps fast.
+    worlds:
+        Possible worlds sampled for Tables 4–5 (paper: 100).
+    baseline_samples:
+        Releases sampled per randomized baseline for Table 6 (paper: 50).
+    seed:
+        Root seed; every runner derives child streams from it.
+    distance_backend:
+        ``"anf"`` (paper-faithful), ``"sampled"``, or ``"exact"``.
+    """
+
+    datasets: tuple[str, ...] = ("dblp", "flickr", "y360")
+    scale: float = 1.0
+    k_values: tuple[int, ...] = PAPER_K_VALUES
+    eps_values: tuple[float, ...] = PAPER_EPS_VALUES
+    c: float = 2.0
+    q: float = 0.01
+    c_chain: tuple[float, ...] = (2.0, 3.0, 5.0)
+    attempts: int = 3
+    delta: float = 1e-3
+    worlds: int = 100
+    baseline_samples: int = 50
+    seed: int = 0
+    distance_backend: str = "anf"
+    dataset_seed: int = 0
+    _graph_cache: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def graph(self, dataset: str) -> Graph:
+        """Load (and memoise) one surrogate graph."""
+        key = (dataset, self.scale, self.dataset_seed)
+        if key not in self._graph_cache:
+            self._graph_cache[key] = load_dataset(
+                dataset, scale=self.scale, seed=self.dataset_seed
+            )
+        return self._graph_cache[key]
+
+    def eps_for(self, dataset: str, paper_eps: float) -> float:
+        """Dataset-specific effective ε for a paper ε value."""
+        return scaled_eps(paper_eps, dataset, self.graph(dataset).num_vertices)
+
+
+def quick_config(**overrides) -> ExperimentConfig:
+    """A small config for tests and smoke runs (seconds, not minutes)."""
+    defaults = dict(
+        datasets=("dblp",),
+        scale=0.2,
+        k_values=(10, 20),
+        eps_values=(1e-3,),
+        attempts=2,
+        delta=1e-2,
+        worlds=20,
+        baseline_samples=10,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

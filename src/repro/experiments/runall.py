@@ -1,0 +1,146 @@
+"""Standalone experiment driver: regenerate the paper without pytest.
+
+Usage::
+
+    python -m repro.experiments                # default (quick) settings
+    python -m repro.experiments --scale 1.0 --worlds 100 --out results/
+
+Runs the obfuscation sweep once and emits every table and figure the
+paper reports, as text to stdout and CSV files under ``--out``.  The
+pytest benchmarks wrap the same harness with assertions; this driver is
+for interactive exploration and for regenerating artefacts on machines
+without the test toolchain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.comparison import table6_rows
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure2_data, figure3_data, figure4_data
+from repro.experiments.harness import (
+    run_obfuscation_sweep,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from repro.experiments.report import (
+    render_boxplot_series,
+    render_curves,
+    render_table,
+    save_csv,
+)
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every table and figure of the paper",
+    )
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="surrogate size multiplier (default 0.35)")
+    parser.add_argument("--worlds", type=int, default=50,
+                        help="possible worlds per utility cell")
+    parser.add_argument("--baseline-samples", type=int, default=25,
+                        help="randomized releases per Table-6 baseline")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=Path("experiment_results"),
+                        help="directory for CSV artefacts")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="emit tables only")
+    parser.add_argument("--datasets", nargs="+", default=["dblp", "flickr", "y360"],
+                        help="subset of datasets to run")
+    parser.add_argument("--k", nargs="+", type=int, default=[20, 60, 100],
+                        dest="k_values", help="obfuscation levels")
+    parser.add_argument("--eps", nargs="+", type=float, default=[1e-3, 1e-4],
+                        dest="eps_values", help="paper tolerance values")
+    return parser.parse_args(argv)
+
+
+def run_all(args) -> None:
+    """Execute the full experiment battery with the given settings."""
+    config = ExperimentConfig(
+        datasets=tuple(args.datasets),
+        k_values=tuple(args.k_values),
+        eps_values=tuple(args.eps_values),
+        scale=args.scale,
+        worlds=args.worlds,
+        baseline_samples=args.baseline_samples,
+        attempts=3,
+        delta=1e-3,
+        seed=args.seed,
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+
+    print(f"# sweep: datasets={config.datasets} k={config.k_values} "
+          f"eps={config.eps_values} scale={config.scale}")
+    sweep = run_obfuscation_sweep(config)
+    print(f"# sweep finished in {time.perf_counter() - t0:.1f}s\n")
+
+    for title, rows, name in (
+        ("Table 2: minimal sigma", table2_rows(sweep), "table2"),
+        ("Table 3: throughput (edges/sec)", table3_rows(sweep), "table3"),
+    ):
+        print(render_table(rows, title=title))
+        print()
+        save_csv(rows, args.out / f"{name}.csv")
+
+    strict = [e for e in sweep if e.paper_eps == min(config.eps_values)]
+    cache: dict = {}
+    rows4 = table4_rows(strict, config, cache=cache)
+    print(render_table(rows4, title="Table 4: sample means (strict eps)"))
+    print()
+    save_csv(rows4, args.out / "table4.csv")
+
+    rows5 = table5_rows(strict, config, cache=cache)
+    print(render_table(rows5, title="Table 5: relative sample SEM"))
+    print()
+    save_csv(rows5, args.out / "table5.csv")
+
+    rows6 = table6_rows(sweep, config)
+    print(render_table(rows6, title="Table 6: comparison vs randomization"))
+    print()
+    save_csv(rows6, args.out / "table6.csv")
+
+    if not args.skip_figures:
+        cells = {(e.dataset, e.k, e.paper_eps): e for e in sweep}
+        easy = cells.get(("dblp", config.k_values[0], max(config.eps_values)))
+        if easy is not None and easy.result.success:
+            fig2 = figure2_data(easy, config)
+            print(render_boxplot_series(fig2, label="distance"))
+            print()
+            fig3 = figure3_data(easy, config)
+            print(render_boxplot_series(fig3, label="degree"))
+            print()
+        for dataset in config.datasets:
+            curves = figure4_data(
+                sweep, config, dataset,
+                baselines=[("perturbation", 0.32), ("sparsification", 0.64)],
+            )
+            print(render_curves(curves))
+            print()
+            rows = [
+                {"k": float(k), **{
+                    label: float(values[i])
+                    for label, values in curves.items() if label != "k"
+                }}
+                for i, k in enumerate(curves["k"])
+            ]
+            save_csv(rows, args.out / f"fig4_{dataset}.csv")
+
+    print(f"# total {time.perf_counter() - t0:.1f}s; CSVs in {args.out}/")
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    run_all(_parse_args(argv))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

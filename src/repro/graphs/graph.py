@@ -1,0 +1,223 @@
+"""Undirected simple graph with integer vertices ``0..n-1``.
+
+This is the certain-graph substrate the whole library builds on.  Design
+choices:
+
+* **Adjacency sets** for O(1) edge queries and cheap mutation — the
+  obfuscation algorithm (Alg. 2 of the paper) toggles candidate pairs in
+  a tight loop.
+* **CSR export** (:meth:`Graph.to_csr`) for the vectorised BFS and
+  HyperANF kernels, which need flat ``indptr``/``indices`` arrays.
+* Vertices are dense integers; name mapping (if any) is the caller's
+  concern.  Self-loops and parallel edges are rejected, matching the
+  paper's model of simple social graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.utils.validation import check_vertex
+
+
+class Graph:
+    """An undirected simple graph on vertices ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  The vertex set is fixed at construction;
+        edges may be added/removed freely.
+
+    Examples
+    --------
+    >>> g = Graph(4)
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2)
+    >>> g.num_edges
+    2
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph from an iterable of (u, v) pairs.
+
+        Duplicate pairs and (u, v)/(v, u) mirrors are collapsed; self
+        loops raise.
+        """
+        g = cls(n)
+        for u, v in edges:
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "Graph":
+        """Return a deep copy (independent adjacency sets)."""
+        g = Graph(self.num_vertices)
+        g._adj = [set(nbrs) for nbrs in self._adj]
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return self._num_edges
+
+    @property
+    def num_pairs(self) -> int:
+        """``n·(n-1)/2`` — the size of the pair universe ``V2``."""
+        n = self.num_vertices
+        return n * (n - 1) // 2
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return len(self._adj[check_vertex(v, self.num_vertices)])
+
+    def degrees(self) -> np.ndarray:
+        """Degree sequence as an ``int64`` array indexed by vertex."""
+        return np.array([len(nbrs) for nbrs in self._adj], dtype=np.int64)
+
+    def neighbors(self, v: int) -> frozenset[int]:
+        """Neighbour set of ``v`` (read-only view as a frozenset)."""
+        return frozenset(self._adj[check_vertex(v, self.num_vertices)])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge (u, v) exists."""
+        u = check_vertex(u, self.num_vertices, "u")
+        v = check_vertex(v, self.num_vertices, "v")
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges as ordered pairs ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` int64 array with ``u < v`` rows."""
+        if self._num_edges == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(self.edges()), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge (u, v).
+
+        Raises
+        ------
+        ValueError
+            On self loops or if the edge already exists (callers that
+            may re-add should test :meth:`has_edge` first; failing loudly
+            catches double-insertion bugs in the perturbation loops).
+        """
+        u = check_vertex(u, self.num_vertices, "u")
+        v = check_vertex(v, self.num_vertices, "v")
+        if u == v:
+            raise ValueError(f"self loops are not allowed (vertex {u})")
+        if v in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge (u, v); raises if absent."""
+        u = check_vertex(u, self.num_vertices, "u")
+        v = check_vertex(v, self.num_vertices, "v")
+        if v not in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Export adjacency in CSR form.
+
+        Returns
+        -------
+        (indptr, indices):
+            ``indices[indptr[v]:indptr[v+1]]`` are the (sorted)
+            neighbours of ``v``.  Both arrays are ``int64``.
+        """
+        n = self.num_vertices
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(nbrs) for nbrs in self._adj])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for v, nbrs in enumerate(self._adj):
+            block = sorted(nbrs)
+            indices[indptr[v] : indptr[v + 1]] = block
+        return indptr, indices
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Edges as a set of ordered ``(u, v)`` tuples with ``u < v``."""
+        return set(self.edges())
+
+    # ------------------------------------------------------------------
+    # dunder sugar
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.num_vertices == other.num_vertices and self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+
+def pair_index(u: int, v: int, n: int) -> int:
+    """Map an unordered pair ``{u, v}`` to a unique index in ``[0, n(n-1)/2)``.
+
+    The mapping enumerates pairs in lexicographic order of ``(min, max)``.
+    Used by tests and by brute-force possible-world enumeration.
+    """
+    u = check_vertex(u, n, "u")
+    v = check_vertex(v, n, "v")
+    if u == v:
+        raise ValueError("pairs must have distinct endpoints")
+    if u > v:
+        u, v = v, u
+    # pairs starting at u' < u: sum_{i<u} (n-1-i); then offset within row
+    return u * (n - 1) - u * (u - 1) // 2 + (v - u - 1)
+
+
+def all_pairs(n: int) -> Iterator[tuple[int, int]]:
+    """Iterate all unordered vertex pairs of an ``n``-vertex graph."""
+    for u in range(n):
+        for v in range(u + 1, n):
+            yield (u, v)

@@ -1,0 +1,146 @@
+"""Named registry of the paper's ten scalar statistics (Tables 4–6 columns).
+
+``paper_statistics()`` returns the exact column family of Table 4 —
+S_NE, S_AD, S_MD, S_DV, S_PL, S_APD, S_DiamLB, S_EDiam, S_CL, S_CC —
+as ``Graph → float`` callables, with the distance-based entries sharing
+one histogram computation per graph via a tiny per-graph cache (five
+distance statistics would otherwise re-run BFS/ANF five times per
+sampled world).
+
+The ``distance_backend`` choice mirrors the paper's §6.3 discussion:
+
+* ``"exact"``    — all-sources BFS (small graphs, tests);
+* ``"sampled"``  — BFS from a random subset of sources [6, 18];
+* ``"anf"``      — HyperANF diffusion [3], the paper's choice for its
+  large graphs (S_Diam then becomes the lower bound S_DiamLB, exactly as
+  in the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graphs.graph import Graph
+from repro.graphs.triangles import clustering_coefficient
+from repro.stats.degree import (
+    average_degree,
+    degree_variance,
+    max_degree,
+    num_edges,
+    powerlaw_exponent,
+)
+from repro.stats.distance import (
+    DistanceHistogram,
+    average_distance,
+    connectivity_length,
+    diameter,
+    distance_histogram,
+    effective_diameter,
+)
+
+#: Order of the scalar columns as printed in the paper's Table 4.
+PAPER_STATISTIC_NAMES = (
+    "S_NE",
+    "S_AD",
+    "S_MD",
+    "S_DV",
+    "S_PL",
+    "S_APD",
+    "S_DiamLB",
+    "S_EDiam",
+    "S_CL",
+    "S_CC",
+)
+
+
+class _HistogramCache:
+    """Share one distance histogram among the distance statistics.
+
+    Keyed on graph identity — each sampled world is a fresh object, so
+    a single-slot cache is exactly right for the world-sampling loop.
+    """
+
+    def __init__(self, backend: str, sample_size: int | None, seed):
+        self._backend = backend
+        self._sample_size = sample_size
+        self._seed = seed
+        self._key: int | None = None
+        self._hist: DistanceHistogram | None = None
+
+    def get(self, graph: Graph) -> DistanceHistogram:
+        """Histogram for ``graph``, computed once per graph object."""
+        key = id(graph)
+        if key != self._key or self._hist is None:
+            self._hist = self._compute(graph)
+            self._key = key
+        return self._hist
+
+    def _compute(self, graph: Graph) -> DistanceHistogram:
+        if self._backend == "exact":
+            return distance_histogram(graph)
+        if self._backend == "sampled":
+            size = self._sample_size or min(graph.num_vertices, 256)
+            return distance_histogram(graph, sample_size=size, seed=self._seed)
+        if self._backend == "anf":
+            # imported lazily: repro.anf depends on repro.stats.distance,
+            # so a module-level import here would close a package cycle
+            from repro.anf.distance_stats import anf_distance_histogram
+
+            return anf_distance_histogram(graph, seed=self._seed)
+        raise ValueError(
+            f"unknown distance backend {self._backend!r}; use exact/sampled/anf"
+        )
+
+
+def paper_statistics(
+    *,
+    distance_backend: str = "anf",
+    sample_size: int | None = None,
+    seed=0,
+    powerlaw_d_min: int | None = None,
+) -> dict[str, Callable[[Graph], float]]:
+    """Build the Table-4 statistic family.
+
+    Parameters
+    ----------
+    distance_backend:
+        ``"exact"``, ``"sampled"`` or ``"anf"`` (see module docstring).
+    sample_size:
+        Source count for the ``"sampled"`` backend.
+    seed:
+        Seed for sampled/ANF backends (kept fixed across worlds so that
+        world-to-world variation reflects the uncertain graph, not the
+        estimator).
+    powerlaw_d_min:
+        Tail cut for the S_PL fit (default: per-graph average degree).
+
+    Returns
+    -------
+    dict[str, Callable[[Graph], float]]
+        Statistic name → callable, in Table-4 column order.
+    """
+    cache = _HistogramCache(distance_backend, sample_size, seed)
+
+    return {
+        "S_NE": num_edges,
+        "S_AD": average_degree,
+        "S_MD": max_degree,
+        "S_DV": degree_variance,
+        "S_PL": lambda g: powerlaw_exponent(g, d_min=powerlaw_d_min),
+        "S_APD": lambda g: average_distance(cache.get(g)),
+        "S_DiamLB": lambda g: diameter(cache.get(g)),
+        "S_EDiam": lambda g: effective_diameter(cache.get(g)),
+        "S_CL": lambda g: connectivity_length(cache.get(g)),
+        "S_CC": clustering_coefficient,
+    }
+
+
+def degree_only_statistics() -> dict[str, Callable[[Graph], float]]:
+    """The cheap degree-based subset (no BFS), for fast sweeps and tests."""
+    return {
+        "S_NE": num_edges,
+        "S_AD": average_degree,
+        "S_MD": max_degree,
+        "S_DV": degree_variance,
+        "S_PL": powerlaw_exponent,
+    }

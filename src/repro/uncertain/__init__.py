@@ -1,0 +1,27 @@
+"""Uncertain-graph substrate: model, possible-world sampling, IO."""
+
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.io import read_uncertain_graph, write_uncertain_graph
+from repro.uncertain.queries import (
+    distance_distribution,
+    expected_reachable_set_size,
+    k_nearest_neighbors,
+    majority_distance,
+    median_distance,
+    reliability,
+)
+from repro.uncertain.sampling import WorldSampler, sample_world
+
+__all__ = [
+    "UncertainGraph",
+    "WorldSampler",
+    "sample_world",
+    "read_uncertain_graph",
+    "write_uncertain_graph",
+    "reliability",
+    "expected_reachable_set_size",
+    "distance_distribution",
+    "median_distance",
+    "majority_distance",
+    "k_nearest_neighbors",
+]

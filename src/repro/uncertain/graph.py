@@ -1,0 +1,236 @@
+"""The uncertain graph ``G̃ = (V, p)`` (Definition 1 of the paper).
+
+An uncertain graph assigns to every unordered vertex pair a probability
+of being an edge.  Following §3 of the paper, only a sparse candidate set
+``E_C ⊆ V2`` carries explicit probabilities; every other pair implicitly
+has ``p = 0`` ("certain non-edge").  The class therefore stores a dict
+keyed by ordered pairs ``(u, v), u < v`` and answers ``probability`` in
+O(1) with a 0 default.
+
+Possible-world semantics: each pair ``e ∈ E_C`` is an independent
+Bernoulli with parameter ``p(e)``; a possible world is a subset
+``E_W ⊆ E_C`` with probability ``Π_{e∈E_W} p(e) · Π_{e∉E_W} (1−p(e))``
+(Equation 1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_probability, check_vertex
+
+
+def _ordered(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class UncertainGraph:
+    """Sparse uncertain graph over vertices ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (shared with the original graph G).
+
+    Notes
+    -----
+    * Assigning probability ``0`` removes the pair from the candidate
+      set — a pair with ``p = 0`` and an absent pair are semantically
+      identical and the class keeps them identical physically, so
+      ``num_candidate_pairs`` always counts pairs with ``p > 0`` unless
+      explicitly retained via :meth:`set_probability` with
+      ``keep_zero=True`` (Alg. 2 stores deleted true edges this way to
+      honour ``|E_C| = c|E|`` accounting).
+    """
+
+    __slots__ = ("_n", "_probs", "_incident")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        self._n = int(n)
+        self._probs: dict[tuple[int, int], float] = {}
+        self._incident: list[set[tuple[int, int]]] = [set() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "UncertainGraph":
+        """Lift a certain graph: every edge gets probability 1."""
+        ug = cls(graph.num_vertices)
+        for u, v in graph.edges():
+            ug.set_probability(u, v, 1.0)
+        return ug
+
+    @classmethod
+    def from_pairs(
+        cls, n: int, pairs: Iterable[tuple[int, int, float]]
+    ) -> "UncertainGraph":
+        """Build from ``(u, v, p)`` triples."""
+        ug = cls(n)
+        for u, v, p in pairs:
+            ug.set_probability(u, v, p)
+        return ug
+
+    def copy(self) -> "UncertainGraph":
+        """Deep copy."""
+        ug = UncertainGraph(self._n)
+        ug._probs = dict(self._probs)
+        ug._incident = [set(s) for s in self._incident]
+        return ug
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_candidate_pairs(self) -> int:
+        """Number of pairs carrying an explicit probability (``|E_C|``)."""
+        return len(self._probs)
+
+    def probability(self, u: int, v: int) -> float:
+        """``p(u, v)``; pairs outside the candidate set return 0."""
+        u = check_vertex(u, self._n, "u")
+        v = check_vertex(v, self._n, "v")
+        if u == v:
+            raise ValueError("pairs must have distinct endpoints")
+        return self._probs.get(_ordered(u, v), 0.0)
+
+    def candidate_pairs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, p)`` triples of the candidate set (u < v)."""
+        for (u, v), p in self._probs.items():
+            yield (u, v, p)
+
+    def incident_pairs(self, v: int) -> list[tuple[int, int, float]]:
+        """Candidate pairs touching ``v`` as ``(u, w, p)`` triples."""
+        check_vertex(v, self._n)
+        return [(u, w, self._probs[(u, w)]) for (u, w) in self._incident[v]]
+
+    def incident_probabilities(self, v: int) -> np.ndarray:
+        """Probabilities of the candidate pairs incident to ``v``.
+
+        This is the Bernoulli vector feeding the Poisson-binomial degree
+        distribution of §4 (Equation 4 restricted to E_C).
+        """
+        check_vertex(v, self._n)
+        return np.array(
+            [self._probs[key] for key in self._incident[v]], dtype=np.float64
+        )
+
+    def expected_degree(self, v: int) -> float:
+        """``E[d_v] = Σ p(e)`` over candidate pairs incident to v."""
+        return float(self.incident_probabilities(v).sum())
+
+    def expected_degrees(self) -> np.ndarray:
+        """Vector of expected degrees for all vertices."""
+        out = np.zeros(self._n, dtype=np.float64)
+        for (u, v), p in self._probs.items():
+            out[u] += p
+            out[v] += p
+        return out
+
+    def expected_num_edges(self) -> float:
+        """``E[S_NE] = Σ_e p(e)`` (the exact formula of §6.2)."""
+        return float(sum(self._probs.values()))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_probability(
+        self, u: int, v: int, p: float, *, keep_zero: bool = False
+    ) -> None:
+        """Assign ``p(u, v) = p``.
+
+        ``p = 0`` deletes the pair from the candidate set unless
+        ``keep_zero`` is set (used when the zero must still count toward
+        ``|E_C|`` bookkeeping, e.g. fully-deleted true edges in Alg. 2).
+        """
+        u = check_vertex(u, self._n, "u")
+        v = check_vertex(v, self._n, "v")
+        if u == v:
+            raise ValueError("pairs must have distinct endpoints")
+        check_probability(p, "p")
+        key = _ordered(u, v)
+        if p == 0.0 and not keep_zero:
+            if key in self._probs:
+                del self._probs[key]
+                self._incident[u].discard(key)
+                self._incident[v].discard(key)
+            return
+        self._probs[key] = float(p)
+        self._incident[u].add(key)
+        self._incident[v].add(key)
+
+    # ------------------------------------------------------------------
+    # possible-world semantics
+    # ------------------------------------------------------------------
+    def world_log_probability(self, world: Graph) -> float:
+        """Natural-log probability of a possible world (Equation 1).
+
+        ``world`` must be a graph on the same vertex set whose edges are
+        a subset of the candidate pairs; otherwise the probability is 0
+        (returns ``-inf``).
+        """
+        if world.num_vertices != self._n:
+            raise ValueError("world must share the vertex set")
+        log_p = 0.0
+        world_edges = world.edge_set()
+        for (u, v), p in self._probs.items():
+            present = (u, v) in world_edges
+            if present:
+                if p == 0.0:
+                    return -math.inf
+                log_p += math.log(p)
+            else:
+                if p == 1.0:
+                    return -math.inf
+                log_p += math.log1p(-p)
+        if world_edges - set(self._probs):
+            return -math.inf
+        return log_p
+
+    def world_probability(self, world: Graph) -> float:
+        """Probability of a possible world; see :meth:`world_log_probability`."""
+        return math.exp(self.world_log_probability(world))
+
+    def enumerate_worlds(self) -> Iterator[tuple[Graph, float]]:
+        """Yield every possible world with its probability.
+
+        Exponential in ``|E_C|`` — intended for tests and the worked
+        examples of §3 only; guarded at 20 candidate pairs.
+        """
+        pairs = list(self._probs.items())
+        if len(pairs) > 20:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(pairs)} worlds; use sampling"
+            )
+        for mask in range(1 << len(pairs)):
+            g = Graph(self._n)
+            prob = 1.0
+            for i, ((u, v), p) in enumerate(pairs):
+                if mask >> i & 1:
+                    prob *= p
+                    if prob == 0.0:
+                        break
+                    g.add_edge(u, v)
+                else:
+                    prob *= 1.0 - p
+                    if prob == 0.0:
+                        break
+            if prob > 0.0:
+                yield g, prob
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UncertainGraph(n={self._n}, candidate_pairs={len(self._probs)}, "
+            f"expected_edges={self.expected_num_edges():.2f})"
+        )

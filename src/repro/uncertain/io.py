@@ -1,0 +1,51 @@
+"""Plain-text IO for uncertain graphs.
+
+Format: ``u v p`` per line (whitespace separated), ``#`` comments, and an
+``# n=`` header for the vertex count — the natural extension of the
+edge-list format of :mod:`repro.graphs.io`, and the shape in which an
+obfuscated graph would actually be *published* per the paper's proposal.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.uncertain.graph import UncertainGraph
+
+
+def write_uncertain_graph(graph: UncertainGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` as ``u v p`` lines with an ``# n=`` header."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            f"# n={graph.num_vertices} candidates={graph.num_candidate_pairs}\n"
+        )
+        for u, v, p in sorted(graph.candidate_pairs()):
+            fh.write(f"{u} {v} {p:.17g}\n")
+
+
+def read_uncertain_graph(
+    path: str | os.PathLike, *, n: int | None = None
+) -> UncertainGraph:
+    """Read a file written by :func:`write_uncertain_graph`."""
+    triples: list[tuple[int, int, float]] = []
+    header_n: int | None = None
+    max_id = -1
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].replace(",", " ").split():
+                    if token.startswith("n="):
+                        header_n = int(token[2:])
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(f"malformed uncertain-edge line: {line!r}")
+            u, v, p = int(parts[0]), int(parts[1]), float(parts[2])
+            triples.append((u, v, p))
+            max_id = max(max_id, u, v)
+    if n is None:
+        n = header_n if header_n is not None else max_id + 1
+    return UncertainGraph.from_pairs(n, triples)

@@ -1,0 +1,207 @@
+"""Query primitives over uncertain graphs.
+
+§1 of the paper argues the published uncertain graph remains *useful*
+because the uncertain-graph literature it cites ([14, 15, 24, 36–38])
+already knows how to query such data.  This module implements the
+standard primitives so the claim is demonstrable inside this repo:
+
+* **two-terminal reliability** (Jin et al. [15]'s
+  distance-constraint reachability in its unconstrained and
+  hop-constrained forms) — the probability that ``t`` is reachable from
+  ``s`` in a possible world;
+* **expected reachable-set size**;
+* **distance distribution between two vertices** (Potamias et al. [24]
+  use exactly these per-pair distance distributions for k-NN over
+  uncertain graphs), plus its median/majority summaries.
+
+All are Monte-Carlo estimators over possible worlds; each returned
+estimate is an average of [0, 1]-bounded (or [a, b]-bounded)
+indicators, so Lemma 2 / Corollary 1 of the paper give the sample-size
+guarantee (``repro.stats.hoeffding_sample_size``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.traversal import bfs_distances
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.sampling import WorldSampler
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_vertex
+
+
+def reliability(
+    uncertain: UncertainGraph,
+    source: int,
+    target: int,
+    *,
+    worlds: int = 200,
+    max_hops: int | None = None,
+    seed=None,
+) -> float:
+    """Estimated probability that ``target`` is reachable from ``source``.
+
+    Parameters
+    ----------
+    uncertain:
+        The uncertain graph.
+    source, target:
+        Query endpoints.
+    worlds:
+        Monte-Carlo sample size (Corollary 1: ``r ≥ ln(2/δ)/(2ε²)``
+        for ±ε at confidence 1−δ).
+    max_hops:
+        If given, reachability must occur within this many hops — the
+        distance-constraint reachability of Jin et al. [15].
+    seed:
+        RNG seed/stream.
+
+    Returns
+    -------
+    float
+        Estimate in [0, 1].
+    """
+    n = uncertain.num_vertices
+    source = check_vertex(source, n, "source")
+    target = check_vertex(target, n, "target")
+    if worlds < 1:
+        raise ValueError(f"need at least one world, got {worlds}")
+    if source == target:
+        return 1.0
+    rng = as_rng(seed)
+    sampler = WorldSampler(uncertain)
+    hits = 0
+    for _ in range(worlds):
+        world = sampler.sample(seed=rng)
+        dist = bfs_distances(world, source)
+        reachable = dist[target] >= 0
+        if reachable and max_hops is not None:
+            reachable = dist[target] <= max_hops
+        hits += bool(reachable)
+    return hits / worlds
+
+
+def expected_reachable_set_size(
+    uncertain: UncertainGraph,
+    source: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> float:
+    """Expected number of vertices reachable from ``source`` (incl. itself)."""
+    n = uncertain.num_vertices
+    source = check_vertex(source, n, "source")
+    if worlds < 1:
+        raise ValueError(f"need at least one world, got {worlds}")
+    rng = as_rng(seed)
+    sampler = WorldSampler(uncertain)
+    total = 0
+    for _ in range(worlds):
+        world = sampler.sample(seed=rng)
+        total += int((bfs_distances(world, source) >= 0).sum())
+    return total / worlds
+
+
+def distance_distribution(
+    uncertain: UncertainGraph,
+    source: int,
+    target: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> dict[int | float, float]:
+    """Empirical distribution of dist(source, target) across worlds.
+
+    Returns a mapping ``distance → probability`` where the key
+    ``float('inf')`` collects the disconnected worlds — the per-pair
+    distance distribution Potamias et al. [24] build k-NN queries on.
+    """
+    n = uncertain.num_vertices
+    source = check_vertex(source, n, "source")
+    target = check_vertex(target, n, "target")
+    if worlds < 1:
+        raise ValueError(f"need at least one world, got {worlds}")
+    rng = as_rng(seed)
+    sampler = WorldSampler(uncertain)
+    counts: dict[int | float, int] = {}
+    for _ in range(worlds):
+        world = sampler.sample(seed=rng)
+        d = bfs_distances(world, source)[target]
+        key: int | float = float("inf") if d < 0 else int(d)
+        counts[key] = counts.get(key, 0) + 1
+    return {key: c / worlds for key, c in counts.items()}
+
+
+def median_distance(
+    uncertain: UncertainGraph,
+    source: int,
+    target: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> float:
+    """Median of the pairwise distance distribution ([24]'s robust choice).
+
+    ``inf`` when the pair is disconnected in at least half the worlds.
+    """
+    dist = distance_distribution(
+        uncertain, source, target, worlds=worlds, seed=seed
+    )
+    cumulative = 0.0
+    for key in sorted(dist, key=lambda x: (x == float("inf"), x)):
+        cumulative += dist[key]
+        if cumulative >= 0.5:
+            return float(key)
+    return float("inf")
+
+
+def majority_distance(
+    uncertain: UncertainGraph,
+    source: int,
+    target: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> float:
+    """Mode of the pairwise distance distribution."""
+    dist = distance_distribution(
+        uncertain, source, target, worlds=worlds, seed=seed
+    )
+    return float(max(dist, key=lambda k: dist[k]))
+
+
+def k_nearest_neighbors(
+    uncertain: UncertainGraph,
+    source: int,
+    k: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> list[tuple[int, float]]:
+    """Majority-k-NN of Potamias et al. [24]: rank vertices by the
+    fraction of worlds in which they are among the k closest to source.
+
+    Returns the top-k vertices as ``(vertex, support)`` pairs, where
+    support is that fraction.  Ties inside a world are broken by vertex
+    id (deterministic).
+    """
+    n = uncertain.num_vertices
+    source = check_vertex(source, n, "source")
+    if k < 1 or k >= n:
+        raise ValueError(f"need 1 <= k < n, got k={k}")
+    if worlds < 1:
+        raise ValueError(f"need at least one world, got {worlds}")
+    rng = as_rng(seed)
+    sampler = WorldSampler(uncertain)
+    appearances = np.zeros(n, dtype=np.int64)
+    for _ in range(worlds):
+        world = sampler.sample(seed=rng)
+        dist = bfs_distances(world, source)
+        reachable = np.flatnonzero((dist > 0))
+        if reachable.size == 0:
+            continue
+        order = reachable[np.lexsort((reachable, dist[reachable]))]
+        appearances[order[:k]] += 1
+    ranked = np.lexsort((np.arange(n), -appearances))
+    return [(int(v), appearances[v] / worlds) for v in ranked[:k]]

@@ -1,0 +1,75 @@
+"""Possible-world sampling (§6.1 of the paper).
+
+A possible world is drawn by flipping every candidate pair independently
+with its probability — the sampler vectorises this into a single uniform
+draw over the pair array.  :class:`WorldSampler` pre-extracts the pair
+arrays once so that drawing 100 worlds (the paper's sample size for the
+utility tables) costs 100 vectorised Bernoulli passes, not 100 dict
+traversals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+from repro.utils.rng import as_rng
+
+
+class WorldSampler:
+    """Draws possible worlds from an uncertain graph.
+
+    Parameters
+    ----------
+    uncertain:
+        The uncertain graph to sample from.
+
+    Examples
+    --------
+    >>> from repro.uncertain import UncertainGraph
+    >>> ug = UncertainGraph.from_pairs(3, [(0, 1, 1.0), (1, 2, 0.0)])
+    >>> sampler = WorldSampler(ug)
+    >>> world = sampler.sample(seed=0)
+    >>> world.has_edge(0, 1), world.has_edge(1, 2)
+    (True, False)
+    """
+
+    def __init__(self, uncertain: UncertainGraph):
+        self._n = uncertain.num_vertices
+        pairs = list(uncertain.candidate_pairs())
+        if pairs:
+            arr = np.array([(u, v) for u, v, _ in pairs], dtype=np.int64)
+            self._us, self._vs = arr[:, 0], arr[:, 1]
+            self._ps = np.array([p for _, _, p in pairs], dtype=np.float64)
+        else:
+            self._us = np.empty(0, dtype=np.int64)
+            self._vs = np.empty(0, dtype=np.int64)
+            self._ps = np.empty(0, dtype=np.float64)
+
+    @property
+    def num_candidate_pairs(self) -> int:
+        """Number of pairs the sampler flips per world."""
+        return len(self._ps)
+
+    def sample(self, *, seed=None) -> Graph:
+        """Draw one possible world."""
+        rng = as_rng(seed)
+        keep = rng.random(len(self._ps)) < self._ps
+        g = Graph(self._n)
+        for u, v in zip(self._us[keep], self._vs[keep]):
+            g.add_edge(int(u), int(v))
+        return g
+
+    def sample_many(self, count: int, *, seed=None) -> Iterator[Graph]:
+        """Yield ``count`` independent possible worlds from one seed."""
+        rng = as_rng(seed)
+        for _ in range(count):
+            yield self.sample(seed=rng)
+
+
+def sample_world(uncertain: UncertainGraph, *, seed=None) -> Graph:
+    """One-shot convenience wrapper around :class:`WorldSampler`."""
+    return WorldSampler(uncertain).sample(seed=seed)

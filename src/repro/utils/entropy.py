@@ -1,0 +1,72 @@
+"""Shannon entropy and distribution helpers.
+
+The paper's privacy notion (Definition 2) lower-bounds the base-2 entropy
+of posterior distributions over vertices, so entropy is on the hot path of
+the obfuscation checker.  The implementation is vectorised and treats
+``0 log 0 = 0`` as usual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_distribution(weights: np.ndarray) -> np.ndarray:
+    """Normalise a non-negative weight vector into a probability vector.
+
+    Parameters
+    ----------
+    weights:
+        Array of non-negative weights; must not be all-zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``weights / weights.sum()``.
+
+    Raises
+    ------
+    ValueError
+        If any weight is negative or the total mass is zero.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise ValueError("cannot normalise an empty weight vector")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero; distribution undefined")
+    return w / total
+
+
+def entropy_bits(distribution: np.ndarray, *, normalize: bool = False) -> float:
+    """Shannon entropy ``H(p) = -sum p_i log2 p_i`` in bits.
+
+    Parameters
+    ----------
+    distribution:
+        A probability vector.  Zero entries are allowed (contribute 0).
+    normalize:
+        If true, ``distribution`` is first normalised with
+        :func:`normalize_distribution`; this is the convenient form for the
+        unnormalised posterior columns ``X_v(ω)`` of the paper.
+
+    Returns
+    -------
+    float
+        Entropy in bits; ``0 ≤ H ≤ log2(len(distribution))``.
+    """
+    p = np.asarray(distribution, dtype=float)
+    if normalize:
+        p = normalize_distribution(p)
+    else:
+        if np.any(p < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = p.sum()
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise ValueError(
+                f"distribution sums to {total!r}; pass normalize=True for raw weights"
+            )
+    nz = p[p > 0]
+    return float(-(nz * np.log2(nz)).sum())

@@ -1,0 +1,48 @@
+"""Shape/branch coverage for the vectorised HLL estimator and CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.anf.hyperloglog import estimate_many, init_registers
+from repro.core.perturbation import truncated_normal_cdf
+
+
+class TestEstimateManyShapes:
+    def test_one_dimensional_input(self):
+        regs = init_registers(5, b=6)[0]  # a single row
+        out = estimate_many(regs)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(1.0, abs=0.6)
+
+    def test_two_dimensional_input(self):
+        regs = init_registers(7, b=6)
+        assert estimate_many(regs).shape == (7,)
+
+    def test_all_zero_registers(self):
+        regs = np.zeros((3, 64), dtype=np.uint8)
+        out = estimate_many(regs)
+        # linear counting with all zeros estimates 0
+        assert np.allclose(out, 0.0, atol=1e-9)
+
+    def test_saturated_registers_large_estimate(self):
+        regs = np.full((1, 64), 30, dtype=np.uint8)
+        out = estimate_many(regs)
+        assert out[0] > 1e9
+
+
+class TestCdfShapes:
+    def test_scalar_input(self):
+        out = truncated_normal_cdf(0.5, 0.4)
+        assert np.shape(out) == ()
+        assert 0.0 < float(out) < 1.0
+
+    def test_matrix_input(self):
+        xs = np.linspace(0, 1, 6).reshape(2, 3)
+        out = truncated_normal_cdf(xs, 0.4)
+        assert out.shape == (2, 3)
+        assert (np.diff(out.ravel()) >= 0).all()
+
+    def test_clamping_outside_unit_interval(self):
+        out = truncated_normal_cdf(np.array([-1.0, 2.0]), 0.4)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)

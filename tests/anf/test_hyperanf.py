@@ -1,0 +1,120 @@
+"""Tests for HyperANF against exact BFS ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.anf.distance_stats import (
+    anf_distance_histogram,
+    neighbourhood_function_to_histogram,
+)
+from repro.anf.hyperanf import hyperanf
+from repro.graphs.generators import erdos_renyi, powerlaw_cluster
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.stats.distance import average_distance, diameter, distance_histogram
+
+
+def exact_neighbourhood_function(g: Graph) -> np.ndarray:
+    mat = all_pairs_distances(g)
+    finite = mat[mat >= 0]
+    max_d = int(finite.max()) if finite.size else 0
+    return np.array([(mat >= 0).sum() if t >= max_d else ((mat >= 0) & (mat <= t)).sum()
+                     for t in range(max_d + 1)], dtype=float)
+
+
+class TestNeighbourhoodFunction:
+    def test_monotone_nondecreasing(self):
+        g = powerlaw_cluster(300, 2, 0.3, seed=0)
+        nf = hyperanf(g, b=7, seed=0)
+        assert (np.diff(nf.values) >= -1e-9).all()
+
+    def test_t0_estimates_n(self):
+        g = erdos_renyi(200, 0.03, seed=1)
+        nf = hyperanf(g, b=8, seed=0)
+        assert nf.values[0] == pytest.approx(200, rel=0.1)
+
+    def test_matches_exact_on_path(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        nf = hyperanf(g, b=10, seed=0)
+        exact = exact_neighbourhood_function(g)
+        assert len(nf.values) == len(exact)
+        assert np.allclose(nf.values, exact, rtol=0.2)
+
+    def test_converges_at_diameter(self):
+        """Register convergence happens exactly at the diameter."""
+        g = erdos_renyi(80, 0.08, seed=3)
+        hist = distance_histogram(g)
+        nf = hyperanf(g, b=9, seed=0)
+        # ANF's lower bound can undershoot slightly but never exceeds
+        assert nf.converged_at <= diameter(hist) + 1
+        assert nf.converged_at >= diameter(hist) - 1
+
+    def test_estimates_total_reachability(self):
+        g = powerlaw_cluster(400, 3, 0.4, seed=2)
+        nf = hyperanf(g, b=8, seed=1)
+        exact = exact_neighbourhood_function(g)
+        assert nf.values[-1] == pytest.approx(exact[-1], rel=0.12)
+
+    def test_empty_graph(self):
+        nf = hyperanf(Graph(0))
+        assert nf.converged_at == 0
+
+    def test_edgeless_graph_converges_immediately(self):
+        nf = hyperanf(Graph(10), b=6)
+        assert nf.converged_at == 0
+        assert len(nf.values) == 1
+
+
+class TestAnfHistogram:
+    def test_counts_close_to_exact(self):
+        g = powerlaw_cluster(500, 3, 0.4, seed=4)
+        exact = distance_histogram(g)
+        est = anf_distance_histogram(g, b=8, seed=0)
+        assert not est.exact
+        # average distance derived from both histograms agrees within 10%
+        assert average_distance(est) == pytest.approx(
+            average_distance(exact), rel=0.1
+        )
+
+    def test_total_pairs_consistent(self):
+        g = erdos_renyi(150, 0.04, seed=5)
+        est = anf_distance_histogram(g, b=8, seed=0)
+        assert est.total_pairs == pytest.approx(g.num_pairs)
+
+    def test_nonnegative_counts(self):
+        g = erdos_renyi(200, 0.05, seed=6)
+        est = anf_distance_histogram(g, b=6, seed=2)
+        assert (est.counts >= 0).all()
+        assert est.disconnected >= 0
+
+    def test_conversion_clamps_negative_increments(self):
+        from repro.anf.hyperanf import NeighbourhoodFunction
+
+        nf = NeighbourhoodFunction(
+            values=np.array([10.0, 30.0, 28.0]), converged_at=2
+        )
+        hist = neighbourhood_function_to_histogram(nf, 10)
+        assert hist.counts[2] == 0.0
+        assert hist.counts[1] == 10.0
+
+
+class TestRunIndependence:
+    def test_different_seeds_different_estimates(self):
+        g = powerlaw_cluster(300, 2, 0.3, seed=7)
+        a = hyperanf(g, b=6, seed=0).values[-1]
+        b = hyperanf(g, b=6, seed=1).values[-1]
+        assert a != b
+
+    def test_jackknife_over_runs(self):
+        """The paper's protocol: repeat HyperANF, jackknife the statistic."""
+        from repro.anf.jackknife import jackknife
+
+        g = powerlaw_cluster(300, 2, 0.3, seed=8)
+        runs = [
+            average_distance(anf_distance_histogram(g, b=6, seed=s))
+            for s in range(8)
+        ]
+        estimate, se = jackknife(runs, lambda xs: float(np.mean(xs)))
+        exact = average_distance(distance_histogram(g))
+        assert estimate == pytest.approx(exact, rel=0.15)
+        assert se < 0.1 * estimate

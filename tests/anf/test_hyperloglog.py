@@ -1,0 +1,122 @@
+"""Tests for the HyperLogLog substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf.hyperloglog import (
+    HyperLogLog,
+    estimate_many,
+    init_registers,
+    splitmix64,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_distinct_inputs_distinct_outputs(self):
+        out = splitmix64(np.arange(10000, dtype=np.uint64))
+        assert len(np.unique(out)) == 10000
+
+    def test_bit_mixing(self):
+        """Consecutive ids land in (approximately) uniform buckets."""
+        out = splitmix64(np.arange(64000, dtype=np.uint64))
+        buckets = (out & np.uint64(63)).astype(int)
+        counts = np.bincount(buckets, minlength=64)
+        assert counts.min() > 700  # uniform ≈ 1000 per bucket
+
+
+class TestHyperLogLogCounter:
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog(b=8).estimate() == pytest.approx(0.0, abs=1.0)
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(b=8)
+        for _ in range(100):
+            hll.add("same-item")
+        assert hll.estimate() == pytest.approx(1.0, abs=0.5)
+
+    @pytest.mark.parametrize("true_count", [100, 1000, 10000])
+    def test_estimate_accuracy(self, true_count):
+        """Relative error should be within ~4σ of the 1.04/√m guarantee."""
+        hll = HyperLogLog(b=10)
+        for i in range(true_count):
+            hll.add(i)
+        rel_err = abs(hll.estimate() - true_count) / true_count
+        assert rel_err < 4 * 1.04 / np.sqrt(1024)
+
+    def test_merge_is_union(self):
+        a, b = HyperLogLog(b=10), HyperLogLog(b=10)
+        for i in range(500):
+            a.add(i)
+        for i in range(250, 750):
+            b.add(i)
+        merged = a.merge(b)
+        assert merged.estimate() == pytest.approx(750, rel=0.15)
+
+    def test_merge_commutative(self):
+        a, b = HyperLogLog(b=8), HyperLogLog(b=8)
+        for i in range(100):
+            (a if i % 2 else b).add(i)
+        assert np.array_equal(a.merge(b).registers, b.merge(a).registers)
+
+    def test_merge_idempotent(self):
+        a = HyperLogLog(b=8)
+        for i in range(100):
+            a.add(i)
+        assert np.array_equal(a.merge(a).registers, a.registers)
+
+    def test_merge_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(b=8).merge(HyperLogLog(b=10))
+        with pytest.raises(ValueError):
+            HyperLogLog(b=8, seed=1).merge(HyperLogLog(b=8, seed=2))
+
+    def test_invalid_b_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(b=2)
+
+    @settings(max_examples=20)
+    @given(st.sets(st.integers(min_value=0, max_value=10**9), max_size=200))
+    def test_monotone_in_items_property(self, items):
+        """Adding items never decreases any register."""
+        hll = HyperLogLog(b=6)
+        prev = hll.registers
+        for item in items:
+            hll.add(item)
+            now = hll.registers
+            assert (now >= prev).all()
+            prev = now
+
+
+class TestVectorised:
+    def test_init_registers_shape(self):
+        regs = init_registers(50, b=6)
+        assert regs.shape == (50, 64)
+        # exactly one register set per singleton
+        assert ((regs > 0).sum(axis=1) == 1).all()
+
+    def test_singleton_estimates_near_one(self):
+        regs = init_registers(100, b=8)
+        est = estimate_many(regs)
+        assert np.allclose(est, 1.0, atol=0.6)
+
+    def test_seed_changes_registers(self):
+        a = init_registers(20, b=6, seed=0)
+        b2 = init_registers(20, b=6, seed=1)
+        assert not np.array_equal(a, b2)
+
+    def test_union_estimate_scaling(self):
+        """Max-merging k singleton rows estimates ≈ k."""
+        regs = init_registers(2000, b=10, seed=3)
+        merged = regs.max(axis=0)
+        est = estimate_many(merged[None, :])[0]
+        assert est == pytest.approx(2000, rel=0.15)
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            init_registers(10, b=1)

@@ -1,0 +1,131 @@
+"""Tests for anonymity levels of randomized releases (Figure-4 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.anonymity import (
+    binomial_pmf,
+    cumulative_anonymity_curve,
+    original_anonymity_levels,
+    perturbation_transition,
+    randomization_anonymity_levels,
+    sparsification_transition,
+)
+from repro.baselines.randomization import random_perturbation, random_sparsification
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        for n, p in [(0, 0.3), (5, 0.5), (40, 0.01), (100, 0.97)]:
+            assert binomial_pmf(n, p).sum() == pytest.approx(1.0)
+
+    def test_against_scipy(self):
+        from scipy import stats
+
+        for n, p in [(7, 0.4), (30, 0.1)]:
+            ours = binomial_pmf(n, p)
+            theirs = stats.binom.pmf(np.arange(n + 1), n, p)
+            assert np.allclose(ours, theirs)
+
+    def test_edge_cases(self):
+        assert binomial_pmf(5, 0.0)[0] == 1.0
+        assert binomial_pmf(5, 1.0)[5] == 1.0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(-1, 0.5)
+
+
+class TestTransitions:
+    def test_sparsification_is_binomial(self):
+        row = sparsification_transition(6, 0.3, 10)
+        assert row.sum() == pytest.approx(1.0)
+        assert np.allclose(row[:7], binomial_pmf(6, 0.7))
+        assert (row[7:] == 0).all()
+
+    def test_sparsification_cannot_grow_degree(self):
+        row = sparsification_transition(3, 0.5, 10)
+        assert (row[4:] == 0).all()
+
+    def test_perturbation_can_grow_degree(self):
+        row = perturbation_transition(3, 0.5, 0.05, 50, 10)
+        assert row[5] > 0
+
+    def test_perturbation_row_mass(self):
+        row = perturbation_transition(4, 0.3, 0.001, 200, 199)
+        assert row.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_perturbation_zero_addition_matches_sparsification(self):
+        a = perturbation_transition(5, 0.4, 0.0, 100, 20)
+        b = sparsification_transition(5, 0.4, 20)
+        assert np.allclose(a, b)
+
+
+class TestOriginalLevels:
+    def test_counts_same_degree_vertices(self, star5):
+        levels = original_anonymity_levels(star5)
+        assert levels[0] == 1.0  # unique hub
+        assert (levels[1:] == 4.0).all()
+
+    def test_regular_graph_full_anonymity(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert (original_anonymity_levels(g) == 4.0).all()
+
+
+class TestRandomizationLevels:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(150, 0.06, seed=1)
+
+    def test_levels_positive_and_bounded(self, graph):
+        published = random_sparsification(graph, 0.3, seed=0)
+        levels = randomization_anonymity_levels(graph, published, "sparsification", 0.3)
+        assert (levels >= 0).all()
+        assert (levels <= graph.num_vertices + 1e-6).all()
+
+    def test_more_noise_more_anonymity(self, graph):
+        """Median anonymity grows with the perturbation strength."""
+        meds = []
+        for p in (0.05, 0.6):
+            published = random_perturbation(graph, p, seed=2)
+            levels = randomization_anonymity_levels(
+                graph, published, "perturbation", p
+            )
+            meds.append(np.median(levels))
+        assert meds[1] > meds[0]
+
+    def test_unknown_scheme_rejected(self, graph):
+        published = random_sparsification(graph, 0.3, seed=0)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            randomization_anonymity_levels(graph, published, "swapping", 0.3)
+
+    def test_entropy_grouping_consistency(self, graph):
+        """Vertices with the same original degree share a level."""
+        published = random_sparsification(graph, 0.2, seed=3)
+        levels = randomization_anonymity_levels(graph, published, "sparsification", 0.2)
+        degrees = graph.degrees()
+        for d in np.unique(degrees):
+            vals = levels[degrees == d]
+            assert np.allclose(vals, vals[0])
+
+
+class TestCumulativeCurve:
+    def test_monotone_nondecreasing(self):
+        levels = np.array([1.0, 2.5, 2.5, 10.0])
+        curve = cumulative_anonymity_curve(levels, np.arange(1, 12))
+        assert (np.diff(curve) >= 0).all()
+
+    def test_counts(self):
+        levels = np.array([1.0, 2.0, 5.0])
+        curve = cumulative_anonymity_curve(levels, np.array([1.0, 2.0, 4.0, 5.0]))
+        assert list(curve) == [1, 2, 2, 3]
+
+    def test_matches_paper_semantics(self, star5):
+        """'number of vertices that have obfuscation level <= k'."""
+        levels = original_anonymity_levels(star5)
+        curve = cumulative_anonymity_curve(levels, np.array([1.0, 3.0, 4.0]))
+        assert list(curve) == [1, 1, 5]

@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's worked example and small reference graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def fig1b() -> UncertainGraph:
+    """The uncertain graph of the paper's Figure 1(b).
+
+    Pair probabilities reverse-engineered from Table 1 (and confirmed by
+    Example 1's arithmetic): p(v1,v2)=0.7, p(v1,v3)=0.9, p(v1,v4)=0.8,
+    p(v2,v3)=0.8, p(v2,v4)=0.1, p(v3,v4)=0.  Vertices are 0-indexed
+    (v1 → 0, ..., v4 → 3).
+    """
+    return UncertainGraph.from_pairs(
+        4,
+        [
+            (0, 1, 0.7),
+            (0, 2, 0.9),
+            (0, 3, 0.8),
+            (1, 2, 0.8),
+            (1, 3, 0.1),
+        ],
+    )
+
+
+@pytest.fixture
+def fig1a() -> Graph:
+    """The original graph of Figure 1(a): edges (v1,v2), (v1,v3), (v1,v4), (v3,v4).
+
+    Degrees: v1=3, v2=1, v3=2, v4=2 — matching Example 2's statements.
+    """
+    return Graph.from_edges(4, [(0, 1), (0, 2), (0, 3), (2, 3)])
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path 0-1-2-3."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star5() -> Graph:
+    """Star with centre 0 and four leaves."""
+    return Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Two disjoint edges plus an isolated vertex: {0-1}, {2-3}, {4}."""
+    return Graph.from_edges(5, [(0, 1), (2, 3)])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,169 @@
+"""Tests for Poisson-binomial degree machinery (§4, Lemma 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree_distribution import (
+    degree_pmf,
+    normal_approx_pmf,
+    poisson_binomial_mean_var,
+    poisson_binomial_pmf,
+)
+
+
+def brute_force_pmf(probs):
+    """Enumerate all 2^n outcomes — the oracle for the Lemma-1 DP."""
+    n = len(probs)
+    pmf = np.zeros(n + 1)
+    for outcome in itertools.product([0, 1], repeat=n):
+        prob = 1.0
+        for o, p in zip(outcome, probs):
+            prob *= p if o else (1.0 - p)
+        pmf[sum(outcome)] += prob
+    return pmf
+
+
+class TestExactDP:
+    def test_empty(self):
+        assert np.allclose(poisson_binomial_pmf(np.array([])), [1.0])
+
+    def test_single_bernoulli(self):
+        assert np.allclose(poisson_binomial_pmf(np.array([0.3])), [0.7, 0.3])
+
+    def test_binomial_special_case(self):
+        """All p equal reduces to Binomial(n, p)."""
+        from math import comb
+
+        n, p = 8, 0.35
+        pmf = poisson_binomial_pmf(np.full(n, p))
+        expected = [comb(n, k) * p**k * (1 - p) ** (n - k) for k in range(n + 1)]
+        assert np.allclose(pmf, expected)
+
+    def test_against_brute_force(self):
+        probs = np.array([0.1, 0.5, 0.9, 0.33, 0.72])
+        assert np.allclose(poisson_binomial_pmf(probs), brute_force_pmf(probs))
+
+    def test_deterministic_probs(self):
+        pmf = poisson_binomial_pmf(np.array([1.0, 1.0, 0.0]))
+        expected = np.zeros(4)
+        expected[2] = 1.0
+        assert np.allclose(pmf, expected)
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            probs = rng.random(rng.integers(1, 40))
+            assert poisson_binomial_pmf(probs).sum() == pytest.approx(1.0)
+
+    def test_invalid_probs_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.array([1.2]))
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.array([-0.1]))
+
+    def test_paper_example1_value(self):
+        """Example 1: Pr(d_{v1} = 2) = 0.398 with incident probs .7/.9/.8."""
+        pmf = poisson_binomial_pmf(np.array([0.7, 0.9, 0.8]))
+        assert pmf[2] == pytest.approx(0.398)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=9,
+        )
+    )
+    def test_matches_brute_force_property(self, probs):
+        probs = np.array(probs)
+        assert np.allclose(
+            poisson_binomial_pmf(probs), brute_force_pmf(probs), atol=1e-10
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_valid_distribution_property(self, probs):
+        pmf = poisson_binomial_pmf(np.array(probs))
+        assert (pmf >= -1e-12).all()
+        assert pmf.sum() == pytest.approx(1.0)
+
+
+class TestMeanVar:
+    def test_formulas(self):
+        probs = np.array([0.2, 0.5, 0.9])
+        mu, var = poisson_binomial_mean_var(probs)
+        assert mu == pytest.approx(1.6)
+        assert var == pytest.approx(0.2 * 0.8 + 0.25 + 0.09)
+
+    def test_matches_pmf_moments(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(15)
+        pmf = poisson_binomial_pmf(probs)
+        ks = np.arange(len(pmf))
+        mu, var = poisson_binomial_mean_var(probs)
+        assert (pmf * ks).sum() == pytest.approx(mu)
+        assert (pmf * ks**2).sum() - mu**2 == pytest.approx(var)
+
+
+class TestNormalApproximation:
+    def test_sums_to_one(self):
+        pmf = normal_approx_pmf(np.full(50, 0.3))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_close_to_exact_for_many_addends(self):
+        """§4: CLT is accurate once addend count reaches ~30."""
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0.2, 0.8, size=200)
+        exact = poisson_binomial_pmf(probs)
+        approx = normal_approx_pmf(probs)
+        assert np.abs(exact - approx).max() < 5e-3
+
+    def test_degenerate_all_certain(self):
+        pmf = normal_approx_pmf(np.array([1.0, 1.0, 0.0]))
+        assert pmf[2] == pytest.approx(1.0)
+
+    def test_custom_support(self):
+        pmf = normal_approx_pmf(np.full(10, 0.5), support=20)
+        assert len(pmf) == 21
+
+    def test_invalid_probs_rejected(self):
+        with pytest.raises(ValueError):
+            normal_approx_pmf(np.array([2.0]))
+
+
+class TestDegreePmfDispatch:
+    def test_auto_small_uses_exact(self):
+        probs = np.array([0.5] * 5)
+        assert np.allclose(
+            degree_pmf(probs, method="auto"), poisson_binomial_pmf(probs)
+        )
+
+    def test_auto_large_uses_normal(self):
+        probs = np.full(100, 0.4)
+        assert np.allclose(
+            degree_pmf(probs, method="auto"), normal_approx_pmf(probs)
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            degree_pmf(np.array([0.5]), method="quantum")
+
+    def test_support_padding(self):
+        pmf = degree_pmf(np.array([0.5]), support=4)
+        assert len(pmf) == 5
+        assert pmf[2:].sum() == 0.0
+
+    def test_support_truncation_keeps_point_probabilities(self):
+        probs = np.array([0.5] * 6)
+        full = degree_pmf(probs)
+        cut = degree_pmf(probs, support=3)
+        assert np.allclose(cut, full[:4])

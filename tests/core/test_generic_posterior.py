@@ -1,0 +1,116 @@
+"""Tests for the sampled property posterior (Equation 2, arbitrary P)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generic_posterior import (
+    SampledPropertyPosterior,
+    degree_property,
+    neighbor_degree_property,
+    sample_property_posterior,
+)
+from repro.core.obfuscation_check import compute_degree_posterior
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestProperties:
+    def test_degree_property(self, triangle):
+        assert degree_property(triangle, 0) == 2
+
+    def test_neighbor_degree_property(self, star5):
+        assert neighbor_degree_property(star5, 0) == (1, 1, 1, 1)
+        assert neighbor_degree_property(star5, 1) == (4,)
+
+    def test_neighbor_degree_isolated(self, two_components):
+        assert neighbor_degree_property(two_components, 4) == ()
+
+
+class TestSampledPosterior:
+    def test_matches_exact_degree_posterior(self, fig1b):
+        """Monte-Carlo X̂ converges to the closed-form X of §4."""
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=6000, seed=0
+        )
+        exact = compute_degree_posterior(fig1b, method="exact")
+        for v in range(4):
+            for omega in range(4):
+                assert sampled.x_value(v, omega) == pytest.approx(
+                    exact.matrix[v, omega], abs=0.03
+                )
+
+    def test_entropies_match_exact(self, fig1a, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=6000, seed=1
+        )
+        exact = compute_degree_posterior(fig1b, method="exact")
+        degrees = fig1a.degrees()
+        sampled_ent = sampled.obfuscation_entropies(list(degrees))
+        exact_ent = exact.obfuscation_entropies(degrees)
+        assert np.allclose(sampled_ent, exact_ent, atol=0.1)
+
+    def test_rows_are_distributions(self, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=200, seed=2
+        )
+        for v in range(4):
+            total = sum(
+                sampled.x_value(v, omega) for omega in range(5)
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_unseen_value_entropy_zero(self, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=50, seed=3
+        )
+        assert sampled.column_entropy("never-seen") == 0.0
+
+    def test_neighbor_degree_stronger_than_degree(self, fig1a, fig1b):
+        """A richer property can only sharpen the adversary's posterior:
+        entropy under P2 (neighbour degrees) ≤ entropy under P1 (degree)
+        + sampling noise."""
+        worlds = 3000
+        deg_post = sample_property_posterior(
+            fig1b, degree_property, worlds=worlds, seed=4
+        )
+        nbr_post = sample_property_posterior(
+            fig1b, neighbor_degree_property, worlds=worlds, seed=4
+        )
+        deg_values = [int(d) for d in fig1a.degrees()]
+        nbr_values = [neighbor_degree_property(fig1a, v) for v in range(4)]
+        h_deg = deg_post.obfuscation_entropies(deg_values)
+        h_nbr = nbr_post.obfuscation_entropies(nbr_values)
+        assert (h_nbr <= h_deg + 0.15).all()
+
+    def test_tolerance_achieved(self, fig1a, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=4000, seed=5
+        )
+        eps = sampled.tolerance_achieved([int(d) for d in fig1a.degrees()], 3)
+        assert eps == pytest.approx(0.25, abs=0.01)
+
+    def test_k_below_one_rejected(self, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=10, seed=6
+        )
+        with pytest.raises(ValueError):
+            sampled.k_obfuscated([0, 0, 0, 0], 0.5)
+
+    def test_wrong_length_rejected(self, fig1b):
+        sampled = sample_property_posterior(
+            fig1b, degree_property, worlds=10, seed=7
+        )
+        with pytest.raises(ValueError):
+            sampled.obfuscation_entropies([1, 2])
+
+    def test_zero_worlds_rejected(self, fig1b):
+        with pytest.raises(ValueError):
+            sample_property_posterior(fig1b, degree_property, worlds=0)
+        with pytest.raises(ValueError):
+            SampledPropertyPosterior([{}], 0)
+
+    def test_deterministic(self, fig1b):
+        a = sample_property_posterior(fig1b, degree_property, worlds=30, seed=9)
+        b = sample_property_posterior(fig1b, degree_property, worlds=30, seed=9)
+        for v in range(4):
+            for omega in range(4):
+                assert a.x_value(v, omega) == b.x_value(v, omega)

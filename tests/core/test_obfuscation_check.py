@@ -1,0 +1,132 @@
+"""Tests for the X/Y posterior machinery and the Definition-2 checker."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.obfuscation_check import (
+    DegreePosterior,
+    compute_degree_posterior,
+    is_k_eps_obfuscation,
+    tolerance_achieved,
+)
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestDegreePosterior:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            DegreePosterior(np.zeros(4))
+
+    def test_x_row_and_column(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.x_row(0).sum() == pytest.approx(1.0)
+        assert post.x_column(2)[2] == pytest.approx(0.720, abs=5e-4)
+
+    def test_out_of_range_column_is_zero(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert (post.x_column(99) == 0).all()
+        assert post.column_entropy(99) == 0.0
+
+    def test_y_column_unattainable_raises(self):
+        ug = UncertainGraph.from_pairs(3, [(0, 1, 1.0)])
+        post = compute_degree_posterior(ug, method="exact")
+        with pytest.raises(ValueError, match="unattainable"):
+            post.y_column(2)
+
+    def test_y_column_normalised(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        for omega in range(4):
+            assert post.y_column(omega).sum() == pytest.approx(1.0)
+
+    def test_entropy_by_degree_caches_distinct(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        by_deg = post.entropy_by_degree(np.array([3, 1, 2, 2]))
+        assert set(by_deg) == {1, 2, 3}
+
+    def test_obfuscation_entropies_shape(self, fig1a, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        ent = post.obfuscation_entropies(fig1a.degrees())
+        assert ent.shape == (4,)
+        assert ent[2] == pytest.approx(ent[3])  # same original degree
+
+    def test_wrong_length_rejected(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        with pytest.raises(ValueError):
+            post.obfuscation_entropies(np.array([1, 2]))
+
+    def test_levels_are_two_to_entropy(self, fig1a, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        ent = post.obfuscation_entropies(fig1a.degrees())
+        lev = post.obfuscation_levels(fig1a.degrees())
+        assert np.allclose(lev, np.exp2(ent))
+
+    def test_k_below_one_rejected(self, fig1a, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        with pytest.raises(ValueError):
+            post.k_obfuscated(fig1a.degrees(), 0.5)
+
+    def test_k_one_always_satisfied(self, fig1a, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.k_obfuscated(fig1a.degrees(), 1).all()
+
+
+class TestComputePosterior:
+    def test_width_override(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact", width=2)
+        assert post.width == 2
+
+    def test_methods_agree_on_small_supports(self, fig1b):
+        exact = compute_degree_posterior(fig1b, method="exact")
+        auto = compute_degree_posterior(fig1b, method="auto")
+        assert np.allclose(exact.matrix, auto.matrix)
+
+    def test_normal_method_rows_sum_to_one(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="normal")
+        assert np.allclose(post.matrix.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_entropy_upper_bound(self, fig1b):
+        """H(Y_ω) ≤ log2 n always."""
+        post = compute_degree_posterior(fig1b, method="exact")
+        for omega in range(post.width):
+            assert post.column_entropy(omega) <= math.log2(4) + 1e-9
+
+
+class TestToleranceAchieved:
+    def test_fully_obfuscated_is_zero(self):
+        """A 4-cycle lifted to certainty: both degrees... all deg 2, count 4."""
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        ug = UncertainGraph.from_graph(g)
+        assert tolerance_achieved(ug, g.degrees(), k=4) == pytest.approx(0.0)
+
+    def test_nothing_obfuscated_is_one(self, star5):
+        ug = UncertainGraph.from_graph(star5)
+        # k=5 needs entropy >= log2 5; max possible with 4 leaves is 2 bits
+        assert tolerance_achieved(ug, star5.degrees(), k=5) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self, fig1a, fig1b):
+        degrees = fig1a.degrees()
+        values = [tolerance_achieved(fig1b, degrees, k) for k in (1, 2, 3, 4, 8)]
+        assert values == sorted(values)
+
+    def test_posterior_reuse(self, fig1a, fig1b):
+        degrees = fig1a.degrees()
+        post = compute_degree_posterior(fig1b, method="exact")
+        a = tolerance_achieved(fig1b, degrees, 3, posterior=post)
+        b = tolerance_achieved(fig1b, degrees, 3)
+        assert a == b
+
+
+class TestIsKEpsObfuscation:
+    def test_accepts_graph_or_degrees(self, fig1a, fig1b):
+        assert is_k_eps_obfuscation(fig1b, fig1a, 3, 0.25)
+        assert is_k_eps_obfuscation(fig1b, fig1a.degrees(), 3, 0.25)
+
+    def test_certain_graph_self_check(self):
+        """k-anonymity of a regular graph: every vertex has count n."""
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        ug = UncertainGraph.from_graph(g)
+        assert is_k_eps_obfuscation(ug, g, k=4, eps=0.0)
+        assert not is_k_eps_obfuscation(ug, g, k=5, eps=0.0)

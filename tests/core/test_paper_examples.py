@@ -1,0 +1,121 @@
+"""The paper's worked examples as exact regression anchors.
+
+Table 1 (the X and Y matrices of Figure 1(b)), Example 1's arithmetic,
+and Example 2's entropies and (3, 0.25)-obfuscation verdict are all
+asserted against the published decimals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.obfuscation_check import (
+    compute_degree_posterior,
+    is_k_eps_obfuscation,
+    tolerance_achieved,
+)
+
+#: Table 1's X matrix (rows v1..v4, columns deg 0..3), as printed.
+PAPER_X = np.array(
+    [
+        [0.006, 0.092, 0.398, 0.504],
+        [0.054, 0.348, 0.542, 0.056],
+        [0.020, 0.260, 0.720, 0.000],
+        [0.180, 0.740, 0.080, 0.000],
+    ]
+)
+
+#: Table 1's Y matrix (columns normalised), as printed.
+PAPER_Y = np.array(
+    [
+        [0.023, 0.064, 0.229, 0.900],
+        [0.208, 0.242, 0.311, 0.100],
+        [0.077, 0.180, 0.414, 0.000],
+        [0.692, 0.514, 0.046, 0.000],
+    ]
+)
+
+
+class TestTable1:
+    def test_x_matrix(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.matrix.shape == (4, 4)
+        assert np.allclose(post.matrix, PAPER_X, atol=5e-4)
+
+    def test_rows_are_distributions(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert np.allclose(post.matrix.sum(axis=1), 1.0)
+
+    def test_y_columns(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        for omega in range(4):
+            assert np.allclose(post.y_column(omega), PAPER_Y[:, omega], atol=1.5e-3)
+
+    def test_example1_degree3_posterior(self, fig1b):
+        """'If we look for a vertex of degree 3 in G, it is either v1 with
+        probability 0.9 or v2 with probability 0.1.'"""
+        post = compute_degree_posterior(fig1b, method="exact")
+        y3 = post.y_column(3)
+        assert y3[0] == pytest.approx(0.9, abs=1e-3)
+        assert y3[1] == pytest.approx(0.1, abs=1e-3)
+        assert y3[2] == 0.0 and y3[3] == 0.0
+
+
+class TestExample2:
+    def test_entropy_deg3(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.column_entropy(3) == pytest.approx(0.469, abs=1e-3)
+
+    def test_entropy_deg1(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.column_entropy(1) == pytest.approx(1.688, abs=1e-3)
+
+    def test_entropy_deg2(self, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.column_entropy(2) == pytest.approx(1.742, abs=1e-3)
+
+    def test_entropy_orderings(self, fig1b):
+        """deg-1 and deg-2 columns exceed log2(3); deg-3 does not."""
+        post = compute_degree_posterior(fig1b, method="exact")
+        assert post.column_entropy(1) > np.log2(3)
+        assert post.column_entropy(2) > np.log2(3)
+        assert post.column_entropy(3) < np.log2(3)
+
+    def test_three_quarters_obfuscated(self, fig1a, fig1b):
+        """Three of four vertices are 3-obfuscated: ε' = 0.25 exactly."""
+        eps_prime = tolerance_achieved(fig1b, fig1a.degrees(), k=3, method="exact")
+        assert eps_prime == pytest.approx(0.25)
+
+    def test_is_3_025_obfuscation(self, fig1a, fig1b):
+        """Example 2's verdict: Figure 1(b) is a (3, 0.25)-obfuscation."""
+        assert is_k_eps_obfuscation(fig1b, fig1a, k=3, eps=0.25, method="exact")
+
+    def test_not_3_01_obfuscation(self, fig1a, fig1b):
+        assert not is_k_eps_obfuscation(fig1b, fig1a, k=3, eps=0.1, method="exact")
+
+    def test_v1_is_the_unprotected_vertex(self, fig1a, fig1b):
+        post = compute_degree_posterior(fig1b, method="exact")
+        mask = post.k_obfuscated(fig1a.degrees(), 3)
+        assert not mask[0]  # v1, degree 3
+        assert mask[1] and mask[2] and mask[3]
+
+
+class TestSection3CertainGraphObservation:
+    """§3: on a certain graph, Y_ω is uniform over P⁻¹(ω)."""
+
+    def test_uniform_posterior(self, fig1a):
+        from repro.uncertain.graph import UncertainGraph
+
+        ug = UncertainGraph.from_graph(fig1a)
+        post = compute_degree_posterior(ug, method="exact")
+        # degree 2 is shared by v3, v4 → Y is 1/2 each, entropy = 1 bit
+        y2 = post.y_column(2)
+        assert np.allclose(y2, [0.0, 0.0, 0.5, 0.5])
+        assert post.column_entropy(2) == pytest.approx(1.0)
+
+    def test_unique_degree_entropy_zero(self, fig1a):
+        from repro.uncertain.graph import UncertainGraph
+
+        ug = UncertainGraph.from_graph(fig1a)
+        post = compute_degree_posterior(ug, method="exact")
+        assert post.column_entropy(3) == pytest.approx(0.0)
+        assert post.column_entropy(1) == pytest.approx(0.0)

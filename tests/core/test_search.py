@@ -1,0 +1,108 @@
+"""Tests for Algorithm 1 (binary-search driver)."""
+
+import pytest
+
+from repro.core.obfuscation_check import is_k_eps_obfuscation
+from repro.core.search import obfuscate, obfuscate_with_fallback
+from repro.core.types import ObfuscationParams
+from repro.graphs.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(90, 0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def result(graph):
+    return obfuscate(graph, k=4, eps=0.15, seed=0, attempts=2, delta=0.02)
+
+
+class TestObfuscate:
+    def test_succeeds(self, result):
+        assert result.success
+
+    def test_output_verifies(self, graph, result):
+        assert is_k_eps_obfuscation(result.uncertain, graph, 4, 0.15)
+
+    def test_eps_achieved_within_tolerance(self, result):
+        assert result.eps_achieved <= 0.15
+
+    def test_trace_has_doubling_then_bisection(self, result):
+        phases = [s.phase for s in result.trace]
+        assert phases[0] == "doubling"
+        assert "bisection" in phases
+        # once bisection starts, doubling never reappears
+        first_bis = phases.index("bisection")
+        assert all(p == "bisection" for p in phases[first_bis:])
+
+    def test_sigma_is_a_successful_probe(self, result):
+        successes = [s.sigma for s in result.trace if s.success]
+        assert result.sigma in successes
+
+    def test_sigma_is_smallest_success(self, result):
+        successes = [s.sigma for s in result.trace if s.success]
+        assert result.sigma == min(successes)
+
+    def test_bisection_interval_shrinks_to_delta(self, result):
+        """Final bracket width must be < 2·delta."""
+        fails = [s.sigma for s in result.trace if not s.success]
+        lower = max(fails, default=0.0)
+        assert result.sigma - lower <= 2 * 0.02 + 1e-12
+
+    def test_throughput_accounting(self, result):
+        assert result.edges_processed > 0
+        assert result.elapsed_seconds > 0
+        assert result.edges_per_second > 0
+
+    def test_deterministic(self, graph):
+        a = obfuscate(graph, k=3, eps=0.2, seed=5, attempts=1, delta=0.05)
+        b = obfuscate(graph, k=3, eps=0.2, seed=5, attempts=1, delta=0.05)
+        assert a.sigma == b.sigma
+        assert a.eps_achieved == b.eps_achieved
+
+    def test_params_and_overrides_conflict(self, graph):
+        params = ObfuscationParams(k=3, eps=0.2)
+        with pytest.raises(TypeError):
+            obfuscate(graph, 3, 0.2, params=params, q=0.05)
+
+    def test_failure_mode(self, star5):
+        """Impossible requirement fails cleanly with a full trace."""
+        res = obfuscate(
+            star5, k=5, eps=0.0, seed=0, attempts=1, delta=0.1, sigma_max=4.0
+        )
+        assert not res.success
+        assert res.uncertain is None
+        assert res.eps_achieved == float("inf")
+        assert all(s.phase == "doubling" for s in res.trace)
+
+
+class TestMonotonicityOfDifficulty:
+    def test_sigma_grows_with_k(self, graph):
+        """The paper's Table-2 observation: larger k needs larger σ."""
+        sigma_small = obfuscate(graph, k=2, eps=0.15, seed=3, attempts=2, delta=0.01).sigma
+        sigma_large = obfuscate(graph, k=8, eps=0.15, seed=3, attempts=2, delta=0.01).sigma
+        assert sigma_large >= sigma_small
+
+
+class TestFallback:
+    def test_returns_first_success(self, graph):
+        res = obfuscate_with_fallback(
+            graph, 3, 0.2, c_values=(2.0, 3.0), seed=1, attempts=1, delta=0.05
+        )
+        assert res.success
+        assert res.params.c == 2.0
+
+    def test_escalates_on_failure(self, star5):
+        res = obfuscate_with_fallback(
+            star5,
+            5,
+            0.0,
+            c_values=(1.5, 2.0),
+            seed=0,
+            attempts=1,
+            delta=0.1,
+            sigma_max=2.0,
+        )
+        assert not res.success
+        assert res.params.c == 2.0  # last attempted

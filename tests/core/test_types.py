@@ -1,0 +1,72 @@
+"""Tests for parameter/result dataclasses."""
+
+import pytest
+
+from repro.core.types import (
+    GenerationOutcome,
+    ObfuscationParams,
+    ObfuscationResult,
+    SearchStep,
+)
+
+
+class TestObfuscationParams:
+    def test_paper_defaults(self):
+        p = ObfuscationParams(k=20, eps=1e-3)
+        assert p.c == 2.0
+        assert p.q == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0.5, "eps": 0.1},
+            {"k": 2, "eps": 1.0},
+            {"k": 2, "eps": -0.1},
+            {"k": 2, "eps": 0.1, "c": 0.5},
+            {"k": 2, "eps": 0.1, "q": 1.5},
+            {"k": 2, "eps": 0.1, "attempts": 0},
+            {"k": 2, "eps": 0.1, "delta": 0.0},
+            {"k": 2, "eps": 0.1, "sigma_init": 0.0},
+            {"k": 2, "eps": 0.1, "sigma_init": 4.0, "sigma_max": 2.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ObfuscationParams(**kwargs)
+
+    def test_frozen(self):
+        p = ObfuscationParams(k=2, eps=0.1)
+        with pytest.raises(AttributeError):
+            p.k = 3
+
+
+class TestOutcomes:
+    def test_generation_success_flag(self):
+        fail = GenerationOutcome(eps_achieved=float("inf"), uncertain=None, sigma=1.0)
+        assert not fail.success
+
+    def test_search_step_success(self):
+        assert SearchStep(sigma=0.1, eps_achieved=0.01, phase="bisection").success
+        assert not SearchStep(sigma=0.1, eps_achieved=float("inf"), phase="doubling").success
+
+    def test_result_edges_per_second(self):
+        params = ObfuscationParams(k=2, eps=0.1)
+        res = ObfuscationResult(
+            uncertain=None,
+            sigma=float("nan"),
+            eps_achieved=float("inf"),
+            params=params,
+            edges_processed=1000,
+            elapsed_seconds=2.0,
+        )
+        assert res.edges_per_second == 500.0
+
+    def test_result_zero_elapsed(self):
+        params = ObfuscationParams(k=2, eps=0.1)
+        res = ObfuscationResult(
+            uncertain=None,
+            sigma=float("nan"),
+            eps_achieved=float("inf"),
+            params=params,
+        )
+        assert res.edges_per_second == 0.0

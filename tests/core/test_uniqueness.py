@@ -1,0 +1,148 @@
+"""Tests for θ-commonness/uniqueness (Definition 3, Equation 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.uniqueness import (
+    degree_commonness,
+    degree_uniqueness,
+    gaussian_kernel,
+    pair_uniqueness,
+    property_commonness,
+    redistribute_sigma,
+)
+
+
+class TestGaussianKernel:
+    def test_zero_distance_is_one(self):
+        assert gaussian_kernel(np.array([0.0]), 2.0)[0] == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self):
+        vals = gaussian_kernel(np.array([0.0, 1.0, 2.0, 5.0]), 1.5)
+        assert (np.diff(vals) < 0).all()
+
+    def test_theta_zero_is_indicator(self):
+        vals = gaussian_kernel(np.array([0.0, 0.5, 1.0]), 0.0)
+        assert list(vals) == [1.0, 0.0, 0.0]
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(np.array([1.0]), -0.1)
+
+    def test_wider_theta_flatter(self):
+        d = np.array([3.0])
+        assert gaussian_kernel(d, 5.0)[0] > gaussian_kernel(d, 1.0)[0]
+
+
+class TestDegreeCommonness:
+    def test_theta_zero_counts_exact_matches(self):
+        degrees = np.array([1, 1, 1, 2, 5])
+        c = degree_commonness(degrees, 0.0)
+        assert c[1] == pytest.approx(3.0)
+        assert c[2] == pytest.approx(1.0)
+        assert c[5] == pytest.approx(1.0)
+        assert c[3] == pytest.approx(0.0)
+
+    def test_smoothing_spreads_mass(self):
+        degrees = np.array([1, 1, 1, 2])
+        c = degree_commonness(degrees, 1.0)
+        # degree 2's commonness now borrows from the three degree-1 vertices
+        assert c[2] > 1.0
+
+    def test_attained_degree_at_least_one(self):
+        rng = np.random.default_rng(0)
+        degrees = rng.integers(0, 20, size=50)
+        for theta in (0.0, 0.5, 3.0):
+            c = degree_commonness(degrees, theta)
+            for d in np.unique(degrees):
+                assert c[d] >= 1.0 - 1e-12
+
+    def test_total_mass_bounded_by_n(self):
+        degrees = np.array([0, 1, 2, 3, 4])
+        c = degree_commonness(degrees, 2.0)
+        assert (c <= 5.0 + 1e-9).all()
+
+    def test_empty_input(self):
+        assert degree_commonness(np.array([], dtype=int), 1.0).size == 0
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            degree_commonness(np.array([-1]), 1.0)
+
+
+class TestDegreeUniqueness:
+    def test_rare_degree_more_unique(self):
+        degrees = np.array([1] * 10 + [50])
+        u = degree_uniqueness(degrees, 0.5)
+        assert u[-1] > u[0]
+
+    def test_bounds(self):
+        degrees = np.array([2, 2, 3, 7])
+        u = degree_uniqueness(degrees, 1.0)
+        assert (u > 0).all()
+        assert (u <= 1.0 + 1e-12).all()
+
+    def test_identical_degrees_identical_uniqueness(self):
+        degrees = np.array([4, 4, 4, 4])
+        u = degree_uniqueness(degrees, 0.7)
+        assert np.allclose(u, u[0])
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    def test_any_theta_finite(self, theta):
+        degrees = np.array([0, 1, 1, 3, 8])
+        u = degree_uniqueness(degrees, theta)
+        assert np.isfinite(u).all()
+
+
+class TestPropertyCommonness:
+    def test_matches_degree_specialisation(self):
+        degrees = np.array([1, 2, 2, 5, 7])
+        via_generic = property_commonness(
+            list(degrees), 1.3, lambda a, b: abs(a - b)
+        )
+        via_degree = degree_commonness(degrees, 1.3)[degrees]
+        assert np.allclose(via_generic, via_degree)
+
+    def test_arbitrary_domain(self):
+        values = ["aa", "ab", "zz"]
+        dist = lambda a, b: sum(x != y for x, y in zip(a, b))
+        c = property_commonness(values, 1.0, dist)
+        assert c[0] > c[2]  # 'aa' has a close neighbour 'ab'
+
+
+class TestRedistribution:
+    def test_mean_preserved(self):
+        """Equation 7: the average of σ(e) equals σ."""
+        rng = np.random.default_rng(3)
+        uniq = rng.random(100) + 0.01
+        sigmas = redistribute_sigma(0.25, uniq)
+        assert sigmas.mean() == pytest.approx(0.25)
+
+    def test_proportional_to_uniqueness(self):
+        sigmas = redistribute_sigma(1.0, np.array([1.0, 2.0, 3.0]))
+        assert sigmas[2] / sigmas[0] == pytest.approx(3.0)
+
+    def test_empty_input(self):
+        assert redistribute_sigma(1.0, np.array([])).size == 0
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_sigma(1.0, np.zeros(3))
+
+    def test_pair_uniqueness_is_mean_of_endpoints(self):
+        vu = np.array([0.1, 0.5, 0.9])
+        us = np.array([0, 1])
+        vs = np.array([2, 2])
+        pu = pair_uniqueness(vu, us, vs)
+        assert pu[0] == pytest.approx(0.5)
+        assert pu[1] == pytest.approx(0.7)
+
+    def test_prefactor_invariance(self):
+        """Dropping the Gaussian prefactor cannot change σ(e): scaling all
+        uniqueness values by any constant leaves Eq. 7 invariant."""
+        uniq = np.array([0.2, 0.4, 1.0])
+        a = redistribute_sigma(0.5, uniq)
+        b = redistribute_sigma(0.5, 37.5 * uniq)
+        assert np.allclose(a, b)

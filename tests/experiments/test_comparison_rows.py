@@ -1,0 +1,61 @@
+"""Row-builder coverage for the Table-6 machinery."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    baseline_utility_row,
+    obfuscation_utility_row,
+    original_row,
+)
+from repro.experiments.config import quick_config
+from repro.experiments.harness import run_obfuscation_sweep
+from repro.stats.registry import PAPER_STATISTIC_NAMES
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config(worlds=6, baseline_samples=4, k_values=(5,))
+
+
+@pytest.fixture(scope="module")
+def graph(config):
+    return config.graph("dblp")
+
+
+class TestOriginalRow:
+    def test_zero_error_and_full_columns(self, graph, config):
+        row = original_row(graph, config)
+        assert row["variant"] == "original"
+        assert row["rel_err"] == 0.0
+        for name in PAPER_STATISTIC_NAMES:
+            assert name in row
+
+    def test_ne_matches_graph(self, graph, config):
+        row = original_row(graph, config)
+        assert row["S_NE"] == graph.num_edges
+
+
+class TestBaselineRow:
+    def test_label_override(self, graph, config):
+        row = baseline_utility_row(
+            graph, "perturbation", 0.1, config, label="custom-label"
+        )
+        assert row["variant"] == "custom-label"
+
+    def test_unknown_scheme_rejected(self, graph, config):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            baseline_utility_row(graph, "swap", 0.1, config)
+
+    def test_zero_p_zero_error(self, graph, config):
+        row = baseline_utility_row(graph, "sparsification", 0.0, config)
+        assert row["rel_err"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestObfuscationRow:
+    def test_row_from_sweep_cell(self, config):
+        sweep = run_obfuscation_sweep(config)
+        entry = sweep[0]
+        row = obfuscation_utility_row(entry, config, label="ours")
+        assert row["variant"] == "ours"
+        assert 0.0 <= row["rel_err"] < 1.0
+        assert row["S_NE"] > 0

@@ -1,0 +1,120 @@
+"""Tests for the sweep harness and table builders (shared small sweep)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.obfuscation_check import is_k_eps_obfuscation
+from repro.experiments.config import quick_config
+from repro.experiments.harness import (
+    evaluate_utility,
+    run_obfuscation_sweep,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from repro.stats.registry import PAPER_STATISTIC_NAMES
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config(worlds=10, distance_backend="anf")
+
+
+@pytest.fixture(scope="module")
+def sweep(config):
+    return run_obfuscation_sweep(config)
+
+
+class TestSweep:
+    def test_cell_count(self, sweep, config):
+        assert len(sweep) == len(config.k_values) * len(config.eps_values)
+
+    def test_all_cells_succeed(self, sweep):
+        assert all(e.result.success for e in sweep)
+
+    def test_outputs_verify_independently(self, sweep):
+        for e in sweep:
+            assert is_k_eps_obfuscation(
+                e.result.uncertain, e.graph, e.k, e.eps_used
+            )
+
+    def test_eps_subset_override(self, config):
+        partial = run_obfuscation_sweep(config, eps_values=(1e-3,))
+        assert len(partial) == len(config.k_values)
+
+
+class TestTable2:
+    def test_row_fields(self, sweep):
+        rows = table2_rows(sweep)
+        assert {"dataset", "k", "eps", "sigma", "c", "success"} <= set(rows[0])
+
+    def test_sigma_monotone_in_k(self, sweep):
+        """Paper's Table-2 trend: larger k needs at least as much σ."""
+        rows = table2_rows(sweep)
+        by_k = {r["k"]: r["sigma"] for r in rows}
+        ks = sorted(by_k)
+        assert by_k[ks[0]] <= by_k[ks[-1]] * (1 + 1e-9) or math.isclose(
+            by_k[ks[0]], by_k[ks[-1]]
+        )
+
+
+class TestTable3:
+    def test_throughput_positive(self, sweep):
+        for row in table3_rows(sweep):
+            assert row["edges_per_sec"] > 0
+            assert row["elapsed_sec"] > 0
+
+
+class TestTable4:
+    def test_structure(self, sweep, config):
+        rows = table4_rows(sweep, config)
+        variants = [r["variant"] for r in rows]
+        assert variants[0] == "real"
+        assert all(v.startswith("k=") for v in variants[1:])
+
+    def test_real_row_has_zero_error(self, sweep, config):
+        rows = table4_rows(sweep, config)
+        assert rows[0]["rel_err"] == 0.0
+
+    def test_all_statistics_reported(self, sweep, config):
+        rows = table4_rows(sweep, config)
+        for row in rows:
+            for name in PAPER_STATISTIC_NAMES:
+                assert name in row
+
+    def test_small_k_small_error(self, sweep, config):
+        """Paper: k=20 errors stay well under 15%."""
+        rows = table4_rows(sweep, config)
+        first_k = rows[1]
+        assert first_k["rel_err"] < 0.15
+
+
+class TestTable5:
+    def test_sems_small(self, sweep, config):
+        """Paper: average relative SEM ≈ 3% or less."""
+        rows = table5_rows(sweep, config)
+        for row in rows:
+            assert row["average"] < 0.10
+
+    def test_ne_and_ad_identical_sem(self, sweep, config):
+        """S_AD = 2·S_NE/n is a scaling — relative SEMs must coincide."""
+        rows = table5_rows(sweep, config)
+        for row in rows:
+            assert row["S_NE"] == pytest.approx(row["S_AD"], rel=1e-9)
+
+
+class TestEvaluateUtility:
+    def test_summary_counts(self, sweep, config):
+        summaries = evaluate_utility(sweep[0], config)
+        assert set(summaries) == set(PAPER_STATISTIC_NAMES)
+        assert summaries["S_NE"].num_worlds == config.worlds
+
+    def test_ne_mean_matches_exact_formula(self, sweep, config):
+        """Sampled S_NE ≈ Σ p(e) (the footnote-5 cross-check)."""
+        entry = sweep[0]
+        summaries = evaluate_utility(entry, config)
+        exact = entry.result.uncertain.expected_num_edges()
+        assert summaries["S_NE"].mean == pytest.approx(exact, rel=0.03)

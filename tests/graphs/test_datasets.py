@@ -1,0 +1,70 @@
+"""Tests for the dataset surrogates."""
+
+import pytest
+
+from repro.graphs.datasets import (
+    DATASET_SPECS,
+    dblp_like,
+    flickr_like,
+    load_dataset,
+    y360_like,
+)
+from repro.graphs.triangles import clustering_coefficient
+from repro.stats.degree import average_degree
+
+
+class TestSpecs:
+    def test_all_three_present(self):
+        assert set(DATASET_SPECS) == {"dblp", "flickr", "y360"}
+
+    def test_paper_sizes_recorded(self):
+        assert DATASET_SPECS["dblp"].paper_n == 226_413
+        assert DATASET_SPECS["flickr"].paper_n == 588_166
+        assert DATASET_SPECS["y360"].paper_n == 1_226_311
+
+
+class TestShapes:
+    def test_average_degrees_match_paper_ordering(self):
+        """Paper: flickr 19.7 > dblp 6.3 > Y360 4.3."""
+        d = average_degree(dblp_like(scale=0.5, seed=0))
+        f = average_degree(flickr_like(scale=0.5, seed=0))
+        y = average_degree(y360_like(scale=0.5, seed=0))
+        assert f > d > y
+
+    def test_dblp_density_close_to_paper(self):
+        g = dblp_like(seed=0)
+        assert average_degree(g) == pytest.approx(6.33, abs=1.0)
+
+    def test_flickr_density_close_to_paper(self):
+        g = flickr_like(seed=0)
+        assert average_degree(g) == pytest.approx(19.73, abs=2.5)
+
+    def test_clustering_ordering_matches_paper(self):
+        """Paper: dblp 0.38 > flickr 0.12 > Y360 0.04 (ordering preserved)."""
+        d = clustering_coefficient(dblp_like(scale=0.4, seed=0))
+        f = clustering_coefficient(flickr_like(scale=0.4, seed=0))
+        y = clustering_coefficient(y360_like(scale=0.4, seed=0))
+        assert d > f > y
+
+    def test_scale_changes_size(self):
+        small = dblp_like(scale=0.1, seed=0)
+        big = dblp_like(scale=0.5, seed=0)
+        assert big.num_vertices > small.num_vertices
+
+
+class TestLoader:
+    def test_by_name(self):
+        g = load_dataset("dblp", scale=0.1, seed=0)
+        assert g.num_vertices == 450
+
+    def test_case_insensitive(self):
+        assert load_dataset("DBLP", scale=0.1).num_vertices == 450
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("enron")
+
+    def test_deterministic(self):
+        assert load_dataset("y360", scale=0.1, seed=3) == load_dataset(
+            "y360", scale=0.1, seed=3
+        )

@@ -1,0 +1,165 @@
+"""Tests for the Graph data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph, all_pairs, pair_index
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edges_dedupes(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_equality(self, triangle):
+        other = Graph.from_edges(3, [(1, 2), (0, 2), (0, 1)])
+        assert triangle == other
+
+    def test_inequality_different_edges(self, triangle, path4):
+        assert triangle != path4
+
+
+class TestMutation:
+    def test_add_and_query(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError, match="self loop"):
+            g.add_edge(1, 1)
+
+    def test_duplicate_add_rejected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="already"):
+            g.add_edge(1, 0)
+
+    def test_remove(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.remove_edge(1, 0)
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError, match="not present"):
+            g.remove_edge(0, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+
+
+class TestAccessors:
+    def test_degrees(self, star5):
+        assert list(star5.degrees()) == [4, 1, 1, 1, 1]
+
+    def test_neighbors(self, path4):
+        assert path4.neighbors(1) == frozenset({0, 2})
+
+    def test_edges_ordered(self, triangle):
+        edges = list(triangle.edges())
+        assert all(u < v for u, v in edges)
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_shape(self, triangle):
+        arr = triangle.edge_array()
+        assert arr.shape == (3, 2)
+
+    def test_edge_array_empty(self):
+        assert Graph(4).edge_array().shape == (0, 2)
+
+    def test_num_pairs(self):
+        assert Graph(5).num_pairs == 10
+        assert Graph(1).num_pairs == 0
+
+    def test_contains_dunder(self, triangle):
+        assert (0, 1) in triangle
+        assert (1, 0) in triangle
+
+    def test_len_dunder(self, triangle):
+        assert len(triangle) == 3
+
+    def test_edge_set(self, path4):
+        assert path4.edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+
+class TestCsr:
+    def test_round_trip(self, star5):
+        indptr, indices = star5.to_csr()
+        assert len(indptr) == 6
+        assert indptr[-1] == 2 * star5.num_edges
+        # centre row holds all leaves
+        assert sorted(indices[indptr[0] : indptr[1]]) == [1, 2, 3, 4]
+
+    def test_rows_sorted(self, rng):
+        g = Graph(20)
+        for _ in range(60):
+            u, v = int(rng.integers(20)), int(rng.integers(20))
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v)
+        indptr, indices = g.to_csr()
+        for v in range(20):
+            row = indices[indptr[v] : indptr[v + 1]]
+            assert list(row) == sorted(row)
+
+    def test_degree_matches_indptr(self, path4):
+        indptr, _ = path4.to_csr()
+        for v in range(4):
+            assert indptr[v + 1] - indptr[v] == path4.degree(v)
+
+
+class TestPairIndex:
+    def test_bijection(self):
+        n = 7
+        seen = set()
+        for u, v in all_pairs(n):
+            idx = pair_index(u, v, n)
+            assert 0 <= idx < n * (n - 1) // 2
+            seen.add(idx)
+        assert len(seen) == n * (n - 1) // 2
+
+    def test_symmetric(self):
+        assert pair_index(2, 5, 8) == pair_index(5, 2, 8)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            pair_index(3, 3, 8)
+
+    def test_all_pairs_count(self):
+        assert len(list(all_pairs(6))) == 15
+
+
+class TestHandshakeProperty:
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=2**31))
+    def test_degree_sum_is_twice_edges(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = Graph(n)
+        for _ in range(min(3 * n, 40)):
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v)
+        assert g.degrees().sum() == 2 * g.num_edges

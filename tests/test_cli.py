@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.uncertain.io import read_uncertain_graph
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.txt"
+    write_edge_list(erdos_renyi(70, 0.12, seed=0), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def release_file(tmp_path_factory, graph_file):
+    path = tmp_path_factory.mktemp("cli") / "release.txt"
+    code = main(
+        [
+            "obfuscate",
+            "--input", str(graph_file),
+            "--output", str(path),
+            "--k", "3",
+            "--eps", "0.15",
+            "--attempts", "2",
+            "--delta", "0.02",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestObfuscate:
+    def test_writes_release(self, release_file):
+        release = read_uncertain_graph(release_file)
+        assert release.num_candidate_pairs > 0
+
+    def test_failure_exit_code(self, tmp_path, graph_file, capsys):
+        out = tmp_path / "nope.txt"
+        code = main(
+            [
+                "obfuscate",
+                "--input", str(graph_file),
+                "--output", str(out),
+                "--k", "1000000",
+                "--eps", "0.0",
+                "--attempts", "1",
+                "--delta", "0.5",
+            ]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_reports_sigma(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "r.txt"
+        code = main(
+            [
+                "obfuscate",
+                "--input", str(graph_file),
+                "--output", str(out),
+                "--k", "2",
+                "--eps", "0.2",
+                "--attempts", "1",
+                "--delta", "0.05",
+            ]
+        )
+        assert code == 0
+        assert "sigma=" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_valid_release(self, graph_file, release_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--original", str(graph_file),
+                "--release", str(release_file),
+                "--k", "3",
+                "--eps", "0.15",
+            ]
+        )
+        assert code == 0
+        assert "IS a" in capsys.readouterr().out
+
+    def test_invalid_release(self, graph_file, release_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--original", str(graph_file),
+                "--release", str(release_file),
+                "--k", "10000",
+                "--eps", "0.0",
+            ]
+        )
+        assert code == 2
+        assert "NOT" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_all_statistics(self, release_file, capsys):
+        code = main(
+            ["stats", "--release", str(release_file), "--worlds", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("S_NE", "S_AD", "S_CC", "S_APD"):
+            assert name in out
+
+
+class TestSample:
+    def test_writes_world(self, release_file, tmp_path):
+        out = tmp_path / "world.txt"
+        code = main(
+            ["sample", "--release", str(release_file), "--output", str(out)]
+        )
+        assert code == 0
+        world = read_edge_list(out)
+        assert world.num_edges > 0
+
+    def test_deterministic(self, release_file, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["sample", "--release", str(release_file), "--output", str(a), "--seed", "5"])
+        main(["sample", "--release", str(release_file), "--output", str(b), "--seed", "5"])
+        assert read_edge_list(a) == read_edge_list(b)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

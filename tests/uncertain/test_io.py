@@ -1,0 +1,49 @@
+"""Tests for uncertain-graph IO."""
+
+import pytest
+
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.io import read_uncertain_graph, write_uncertain_graph
+
+
+class TestRoundTrip:
+    def test_probabilities_preserved(self, tmp_path, fig1b):
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(fig1b, path)
+        back = read_uncertain_graph(path)
+        assert back.num_vertices == 4
+        for u, v, p in fig1b.candidate_pairs():
+            assert back.probability(u, v) == pytest.approx(p)
+
+    def test_full_precision(self, tmp_path):
+        ug = UncertainGraph.from_pairs(2, [(0, 1, 0.123456789012345)])
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(ug, path)
+        assert read_uncertain_graph(path).probability(0, 1) == 0.123456789012345
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        ug = UncertainGraph(9)
+        ug.set_probability(0, 1, 0.4)
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(ug, path)
+        assert read_uncertain_graph(path).num_vertices == 9
+
+
+class TestReading:
+    def test_n_override(self, tmp_path, fig1b):
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(fig1b, path)
+        assert read_uncertain_graph(path, n=11).num_vertices == 11
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_uncertain_graph(path)
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 3 0.25\n")
+        ug = read_uncertain_graph(path)
+        assert ug.num_vertices == 4
+        assert ug.probability(0, 3) == 0.25

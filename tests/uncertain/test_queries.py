@@ -1,0 +1,137 @@
+"""Tests for uncertain-graph query primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.queries import (
+    distance_distribution,
+    expected_reachable_set_size,
+    k_nearest_neighbors,
+    majority_distance,
+    median_distance,
+    reliability,
+)
+
+
+@pytest.fixture
+def chain():
+    """0 -(1.0)- 1 -(0.5)- 2 : reliability(0,2) = 0.5 exactly."""
+    return UncertainGraph.from_pairs(3, [(0, 1, 1.0), (1, 2, 0.5)])
+
+
+@pytest.fixture
+def parallel_paths():
+    """Two independent 2-hop routes 0→3: reliability = 1-(1-.25)(1-.25)."""
+    return UncertainGraph.from_pairs(
+        4,
+        [
+            (0, 1, 0.5), (1, 3, 0.5),   # route A: prob 0.25
+            (0, 2, 0.5), (2, 3, 0.5),   # route B: prob 0.25
+        ],
+    )
+
+
+class TestReliability:
+    def test_certain_edge(self):
+        ug = UncertainGraph.from_pairs(2, [(0, 1, 1.0)])
+        assert reliability(ug, 0, 1, worlds=20, seed=0) == 1.0
+
+    def test_impossible(self):
+        ug = UncertainGraph(3)
+        assert reliability(ug, 0, 2, worlds=20, seed=0) == 0.0
+
+    def test_source_equals_target(self, chain):
+        assert reliability(chain, 1, 1, worlds=1, seed=0) == 1.0
+
+    def test_series_probability(self, chain):
+        est = reliability(chain, 0, 2, worlds=3000, seed=1)
+        assert est == pytest.approx(0.5, abs=0.03)
+
+    def test_parallel_routes(self, parallel_paths):
+        expected = 1 - (1 - 0.25) ** 2
+        est = reliability(parallel_paths, 0, 3, worlds=4000, seed=2)
+        assert est == pytest.approx(expected, abs=0.03)
+
+    def test_hop_constraint(self, chain):
+        """Within 1 hop, vertex 2 is never reachable from 0."""
+        assert reliability(chain, 0, 2, worlds=200, max_hops=1, seed=3) == 0.0
+        est = reliability(chain, 0, 2, worlds=2000, max_hops=2, seed=3)
+        assert est == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_worlds(self, chain):
+        with pytest.raises(ValueError):
+            reliability(chain, 0, 1, worlds=0)
+
+    def test_invalid_vertex(self, chain):
+        with pytest.raises(ValueError):
+            reliability(chain, 0, 9)
+
+
+class TestReachableSetSize:
+    def test_certain_component(self):
+        ug = UncertainGraph.from_pairs(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        est = expected_reachable_set_size(ug, 0, worlds=50, seed=0)
+        assert est == pytest.approx(3.0)
+
+    def test_expected_value(self, chain):
+        # reachable from 0: always {0,1}; plus 2 with prob 0.5 → E = 2.5
+        est = expected_reachable_set_size(chain, 0, worlds=3000, seed=1)
+        assert est == pytest.approx(2.5, abs=0.05)
+
+    def test_isolated_vertex(self):
+        ug = UncertainGraph(5)
+        assert expected_reachable_set_size(ug, 3, worlds=10, seed=0) == 1.0
+
+
+class TestDistanceDistribution:
+    def test_distribution_values(self, chain):
+        dist = distance_distribution(chain, 0, 2, worlds=3000, seed=0)
+        assert dist[2] == pytest.approx(0.5, abs=0.03)
+        assert dist[float("inf")] == pytest.approx(0.5, abs=0.03)
+
+    def test_probabilities_sum_to_one(self, parallel_paths):
+        dist = distance_distribution(parallel_paths, 0, 3, worlds=500, seed=1)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_median_distance(self, chain):
+        # exactly 0.5 mass at distance 2 → median reports 2 (cum reaches .5)
+        med = median_distance(chain, 0, 2, worlds=4000, seed=2)
+        assert med in (2.0, float("inf"))
+
+    def test_median_connected(self):
+        ug = UncertainGraph.from_pairs(3, [(0, 1, 1.0), (1, 2, 0.9)])
+        assert median_distance(ug, 0, 2, worlds=500, seed=0) == 2.0
+
+    def test_majority_distance(self, chain):
+        maj = majority_distance(chain, 0, 1, worlds=100, seed=0)
+        assert maj == 1.0
+
+
+class TestKNearestNeighbors:
+    def test_certain_graph_ranks_by_distance(self):
+        ug = UncertainGraph.from_pairs(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+        )
+        top2 = k_nearest_neighbors(ug, 0, 2, worlds=20, seed=0)
+        assert [v for v, _ in top2] == [1, 2]
+        assert all(s == 1.0 for _, s in top2)
+
+    def test_supports_bounded(self, parallel_paths):
+        result = k_nearest_neighbors(parallel_paths, 0, 2, worlds=200, seed=1)
+        assert len(result) == 2
+        for _, support in result:
+            assert 0.0 <= support <= 1.0
+
+    def test_probable_neighbor_ranked_first(self):
+        ug = UncertainGraph.from_pairs(3, [(0, 1, 0.9), (0, 2, 0.2)])
+        top = k_nearest_neighbors(ug, 0, 1, worlds=500, seed=2)
+        assert top[0][0] == 1
+
+    def test_invalid_k(self, chain):
+        with pytest.raises(ValueError):
+            k_nearest_neighbors(chain, 0, 0)
+        with pytest.raises(ValueError):
+            k_nearest_neighbors(chain, 0, 3)

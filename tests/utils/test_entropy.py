@@ -1,0 +1,88 @@
+"""Tests for repro.utils.entropy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.entropy import entropy_bits, normalize_distribution
+
+
+class TestNormalizeDistribution:
+    def test_basic(self):
+        out = normalize_distribution(np.array([1.0, 3.0]))
+        assert np.allclose(out, [0.25, 0.75])
+
+    def test_already_normalised(self):
+        out = normalize_distribution(np.array([0.5, 0.5]))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalize_distribution(np.array([1.0, -0.1]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="zero"):
+            normalize_distribution(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalize_distribution(np.array([]))
+
+
+class TestEntropyBits:
+    def test_uniform_two(self):
+        assert entropy_bits(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_uniform_k(self):
+        for k in (2, 4, 8, 16):
+            p = np.full(k, 1.0 / k)
+            assert entropy_bits(p) == pytest.approx(math.log2(k))
+
+    def test_point_mass_is_zero(self):
+        assert entropy_bits(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_zero_entries_ignored(self):
+        assert entropy_bits(np.array([0.5, 0.5, 0.0])) == pytest.approx(1.0)
+
+    def test_normalize_flag(self):
+        assert entropy_bits(np.array([2.0, 2.0]), normalize=True) == pytest.approx(1.0)
+
+    def test_unnormalised_rejected_without_flag(self):
+        with pytest.raises(ValueError, match="normalize"):
+            entropy_bits(np.array([2.0, 2.0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            entropy_bits(np.array([1.1, -0.1]))
+
+    def test_known_value(self):
+        # H(0.9, 0.1) = -0.9 log2 0.9 - 0.1 log2 0.1
+        expected = -(0.9 * math.log2(0.9) + 0.1 * math.log2(0.1))
+        assert entropy_bits(np.array([0.9, 0.1])) == pytest.approx(expected)
+
+    @given(
+        st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=40)
+    )
+    def test_bounds_property(self, weights):
+        """0 <= H(p) <= log2(len(p)) for any distribution."""
+        h = entropy_bits(np.array(weights), normalize=True)
+        assert -1e-9 <= h <= math.log2(len(weights)) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=20)
+    )
+    def test_permutation_invariance(self, weights):
+        p = np.array(weights)
+        h1 = entropy_bits(p, normalize=True)
+        h2 = entropy_bits(p[::-1].copy(), normalize=True)
+        assert h1 == pytest.approx(h2)
+
+    def test_min_entropy_dominated_by_shannon(self):
+        """H(p) >= H_inf(p) = -log2 max(p) — underpins the belief measure."""
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            p = rng.dirichlet(np.ones(10))
+            assert entropy_bits(p) >= -math.log2(p.max()) - 1e-9

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        a = as_rng(seq)
+        assert isinstance(a, np.random.Generator)
+
+    def test_tuple_seed_accepted(self):
+        a = as_rng((1, 2)).random(3)
+        b = as_rng((1, 2)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        kids = spawn_rngs(0, 3)
+        draws = [k.random(4) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.random(3) for g in spawn_rngs(9, 3)]
+        b = [g.random(3) for g in spawn_rngs(9, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_prefix_stability(self):
+        """Child i is identical regardless of how many siblings follow."""
+        a = spawn_rngs(3, 2)[0].random(4)
+        b = spawn_rngs(3, 6)[0].random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_seed_consumes_stream(self):
+        gen = np.random.default_rng(11)
+        kids1 = spawn_rngs(gen, 2)
+        kids2 = spawn_rngs(np.random.default_rng(11), 2)
+        assert np.array_equal(kids1[0].random(3), kids2[0].random(3))

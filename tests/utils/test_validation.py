@@ -1,0 +1,70 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_vertex,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 2.0])
+    def test_rejects_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_probability(p)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="myprob"):
+            check_probability(2.0, "myprob")
+
+
+class TestCheckFraction:
+    def test_accepts_zero(self):
+        assert check_fraction(0.0) == 0.0
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.1)
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        assert check_positive(0.1) == 0.1
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_nonstrict_accepts_zero(self):
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+
+class TestCheckVertex:
+    def test_accepts_in_range(self):
+        assert check_vertex(3, 5) == 3
+
+    def test_rejects_equal_to_n(self):
+        with pytest.raises(ValueError):
+            check_vertex(5, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_vertex(-1, 5)
+
+    def test_coerces_to_int(self):
+        assert check_vertex(2.0, 5) == 2
