@@ -22,6 +22,7 @@ from repro.anf.hyperanf import hyperanf
 from repro.core.degree_distribution import poisson_binomial_pmf
 from repro.core.generate import generate_obfuscation
 from repro.core.obfuscation_check import compute_degree_posterior
+from repro.core.posterior_batch import poisson_binomial_pmf_batch
 from repro.core.types import ObfuscationParams
 from repro.graphs.datasets import dblp_like
 from repro.stats.distance import distance_histogram
@@ -44,6 +45,13 @@ def test_kernel_poisson_binomial_dp(benchmark):
     probs = rng.random(300)  # hub-sized support
     result = benchmark(poisson_binomial_pmf, probs)
     assert result.sum() == pytest.approx(1.0)
+
+
+def test_kernel_poisson_binomial_batch(benchmark):
+    rng = np.random.default_rng(0)
+    probs = rng.random((64, 300))  # a bucket of hub-sized supports
+    result = benchmark(poisson_binomial_pmf_batch, probs)
+    assert result.sum(axis=1) == pytest.approx(np.ones(64))
 
 
 def test_kernel_posterior_matrix(benchmark, small_graph, small_uncertain):

@@ -13,6 +13,7 @@ Submodules map onto the paper's sections:
 from repro.core.degree_distribution import (
     AUTO_EXACT_LIMIT,
     degree_pmf,
+    erf_array,
     normal_approx_pmf,
     poisson_binomial_mean_var,
     poisson_binomial_pmf,
@@ -27,8 +28,14 @@ from repro.core.generic_posterior import (
 from repro.core.obfuscation_check import (
     DegreePosterior,
     compute_degree_posterior,
+    compute_degree_posterior_scalar,
     is_k_eps_obfuscation,
     tolerance_achieved,
+)
+from repro.core.posterior_batch import (
+    degree_posterior_matrix,
+    normal_approx_pmf_batch,
+    poisson_binomial_pmf_batch,
 )
 from repro.core.perturbation import (
     sample_perturbation,
@@ -56,8 +63,12 @@ from repro.core.uniqueness import (
 __all__ = [
     "AUTO_EXACT_LIMIT",
     "poisson_binomial_pmf",
+    "poisson_binomial_pmf_batch",
     "normal_approx_pmf",
+    "normal_approx_pmf_batch",
     "degree_pmf",
+    "degree_posterior_matrix",
+    "erf_array",
     "poisson_binomial_mean_var",
     "DegreePosterior",
     "SampledPropertyPosterior",
@@ -65,6 +76,7 @@ __all__ = [
     "degree_property",
     "neighbor_degree_property",
     "compute_degree_posterior",
+    "compute_degree_posterior_scalar",
     "tolerance_achieved",
     "is_k_eps_obfuscation",
     "gaussian_kernel",

@@ -31,6 +31,19 @@ AUTO_EXACT_LIMIT = 64
 
 _SQRT2 = math.sqrt(2.0)
 
+try:  # SciPy ships a C-loop erf ufunc; the stdlib fallback keeps the
+    from scipy.special import erf as _erf_ufunc  # dependency optional.
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _erf_obj = np.frompyfunc(math.erf, 1, 1)
+
+    def _erf_ufunc(x):
+        return _erf_obj(x).astype(np.float64)
+
+
+def erf_array(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``erf`` over an array (SciPy ufunc when available)."""
+    return np.asarray(_erf_ufunc(x), dtype=np.float64)
+
 
 def poisson_binomial_pmf(probs: np.ndarray) -> np.ndarray:
     """Exact PMF of a sum of independent Bernoulli(p_i) variables.
@@ -96,7 +109,7 @@ def normal_approx_pmf(probs: np.ndarray, *, support: int | None = None) -> np.nd
         return pmf
     sigma = math.sqrt(var)
     edges = (np.arange(size + 2, dtype=np.float64) - 0.5 - mu) / (sigma * _SQRT2)
-    cdf = np.array([0.5 * (1.0 + math.erf(x)) for x in edges])
+    cdf = 0.5 * (1.0 + erf_array(edges))
     cdf[0] = 0.0  # close the left tail into bin 0
     cdf[-1] = 1.0  # close the right tail into the last bin
     pmf = np.diff(cdf)

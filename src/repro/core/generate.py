@@ -62,14 +62,20 @@ def select_excluded_vertices(
 
 
 def _build_candidate_set(
-    graph: Graph,
+    n: int,
+    edge_set: set[tuple[int, int]],
     target_size: int,
     q_probs: np.ndarray,
     rng: np.random.Generator,
 ) -> set[tuple[int, int]]:
-    """Lines 6–12 of Algorithm 2: grow E_C from E by Q-weighted toggles."""
-    n = graph.num_vertices
-    candidate: set[tuple[int, int]] = graph.edge_set()
+    """Lines 6–12 of Algorithm 2: grow E_C from E by Q-weighted toggles.
+
+    ``edge_set`` is the original graph's edge set (ordered ``u < v``
+    tuples), precomputed once per :func:`generate_obfuscation` call so
+    the per-draw edge test is one set membership probe instead of a
+    bounds-checked :meth:`Graph.has_edge` call.
+    """
+    candidate: set[tuple[int, int]] = set(edge_set)
     max_draws = max(_MAX_DRAW_FACTOR * max(target_size, 1), 10_000)
     draws_used = 0
     while len(candidate) != target_size:
@@ -85,7 +91,7 @@ def _build_candidate_set(
             if u == v:
                 continue
             key = (u, v) if u < v else (v, u)
-            if graph.has_edge(u, v):
+            if key in edge_set:
                 candidate.discard(key)
             else:
                 candidate.add(key)
@@ -156,6 +162,8 @@ def generate_obfuscation(
 
     target_size = int(round(params.c * m))
     width = int(degrees.max()) + 2  # checker needs columns only at original degrees
+    edge_set = graph.edge_set()
+    edge_codes = graph.edge_codes()
 
     # Feasibility: E_C can grow at most to |E| plus the non-edges available
     # among V \ H.  The paper's |E| ≪ |V2|/2 assumption makes this always
@@ -163,7 +171,7 @@ def generate_obfuscation(
     eligible = np.flatnonzero(q_probs > 0)
     eligible_set = set(int(v) for v in eligible)
     edges_within = sum(
-        1 for u, v in graph.edges() if u in eligible_set and v in eligible_set
+        1 for u, v in edge_set if u in eligible_set and v in eligible_set
     )
     available_additions = len(eligible) * (len(eligible) - 1) // 2 - edges_within
     if target_size > m + available_additions:
@@ -177,7 +185,7 @@ def generate_obfuscation(
     )
     for attempt in range(params.attempts):
         try:
-            candidate = _build_candidate_set(graph, target_size, q_probs, rng)
+            candidate = _build_candidate_set(n, edge_set, target_size, q_probs, rng)
         except RuntimeError:
             # Stochastic stall (all eligible non-edges absorbed before the
             # target was hit) — count as a failed attempt, like the paper's
@@ -194,16 +202,10 @@ def generate_obfuscation(
         if white.any():
             perturbations[white] = rng.random(int(white.sum()))
 
-        is_edge = np.fromiter(
-            (graph.has_edge(int(u), int(v)) for u, v in pairs),
-            dtype=bool,
-            count=len(pairs),
-        )
+        is_edge = np.isin(us * np.int64(n) + vs, edge_codes, assume_unique=True)
         probs = np.where(is_edge, 1.0 - perturbations, perturbations)
 
-        uncertain = UncertainGraph(n)
-        for (u, v), p in zip(pairs, probs):
-            uncertain.set_probability(int(u), int(v), float(p), keep_zero=True)
+        uncertain = UncertainGraph.from_arrays(n, us, vs, probs, keep_zero=True)
 
         posterior = compute_degree_posterior(
             uncertain, method=params.method, width=width

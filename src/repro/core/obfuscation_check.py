@@ -23,6 +23,7 @@ import math
 import numpy as np
 
 from repro.core.degree_distribution import degree_pmf
+from repro.core.posterior_batch import degree_posterior_matrix
 from repro.graphs.graph import Graph
 from repro.uncertain.graph import UncertainGraph
 from repro.utils.entropy import entropy_bits
@@ -154,6 +155,32 @@ def compute_degree_posterior(
     Returns
     -------
     DegreePosterior
+
+    Notes
+    -----
+    Runs on the batched engine of :mod:`repro.core.posterior_batch` —
+    one CSR export plus a handful of vectorised passes instead of ``n``
+    scalar :func:`repro.core.degree_pmf` calls.  The scalar loop survives
+    as :func:`compute_degree_posterior_scalar`, the ground truth the
+    equivalence tests pin the engine against.
+    """
+    indptr, data = uncertain.incident_probability_csr()
+    matrix = degree_posterior_matrix(indptr, data, method=method, width=width)
+    return DegreePosterior(matrix)
+
+
+def compute_degree_posterior_scalar(
+    uncertain: UncertainGraph,
+    *,
+    method: str = "auto",
+    width: int | None = None,
+) -> DegreePosterior:
+    """Reference implementation of :func:`compute_degree_posterior`.
+
+    One scalar :func:`repro.core.degree_pmf` call per vertex.  Kept as
+    the ground truth for the batched engine's equivalence tests (and as
+    the baseline side of ``benchmarks/bench_posterior_batch.py``); not
+    used on any hot path.
     """
     n = uncertain.num_vertices
     prob_vectors = [uncertain.incident_probabilities(v) for v in range(n)]

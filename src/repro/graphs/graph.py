@@ -181,6 +181,21 @@ class Graph:
         """Edges as a set of ordered ``(u, v)`` tuples with ``u < v``."""
         return set(self.edges())
 
+    def edge_codes(self) -> np.ndarray:
+        """Edges as sorted scalar codes ``u·n + v`` (``u < v``).
+
+        The flat form lets callers answer "which of these pairs are true
+        edges?" for a whole pair array at once via ``np.isin`` — the
+        vectorised counterpart of an :meth:`has_edge` loop (used by the
+        Algorithm-2 probability-assignment step).
+        """
+        if self._num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        edges = self.edge_array()
+        codes = edges[:, 0] * np.int64(self.num_vertices) + edges[:, 1]
+        codes.sort()
+        return codes
+
     # ------------------------------------------------------------------
     # dunder sugar
     # ------------------------------------------------------------------

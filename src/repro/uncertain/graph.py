@@ -3,14 +3,29 @@
 An uncertain graph assigns to every unordered vertex pair a probability
 of being an edge.  Following §3 of the paper, only a sparse candidate set
 ``E_C ⊆ V2`` carries explicit probabilities; every other pair implicitly
-has ``p = 0`` ("certain non-edge").  The class therefore stores a dict
-keyed by ordered pairs ``(u, v), u < v`` and answers ``probability`` in
-O(1) with a 0 default.
+has ``p = 0`` ("certain non-edge").
 
 Possible-world semantics: each pair ``e ∈ E_C`` is an independent
 Bernoulli with parameter ``p(e)``; a possible world is a subset
 ``E_W ⊆ E_C`` with probability ``Π_{e∈E_W} p(e) · Π_{e∉E_W} (1−p(e))``
 (Equation 1).
+
+Storage model
+-------------
+The class keeps **two interchangeable representations** of the candidate
+set and materialises each lazily from the other:
+
+* a dict keyed by ordered pairs ``(u, v), u < v`` — the mutation-friendly
+  form behind :meth:`set_probability` / :meth:`probability`;
+* flat **pair arrays** ``(us, vs, ps)`` — the vectorised form behind
+  :meth:`pair_arrays` and :meth:`incident_probability_csr`, which the
+  batched posterior engine and the world sampler consume.
+
+``from_arrays`` builds only the array form, so the Algorithm-2 hot loop
+(thousands of candidate graphs per binary-search probe) never pays a
+Python-level dict insert per pair; the dict springs into existence only
+if someone asks a per-pair question.  Mutation invalidates the cached
+arrays.
 """
 
 from __future__ import annotations
@@ -47,14 +62,18 @@ class UncertainGraph:
       honour ``|E_C| = c|E|`` accounting).
     """
 
-    __slots__ = ("_n", "_probs", "_incident")
+    __slots__ = ("_n", "_probs", "_incident", "_arrays", "_csr")
 
     def __init__(self, n: int):
         if n < 0:
             raise ValueError(f"number of vertices must be non-negative, got {n}")
         self._n = int(n)
-        self._probs: dict[tuple[int, int], float] = {}
-        self._incident: list[set[tuple[int, int]]] = [set() for _ in range(n)]
+        # Exactly one of _probs / _arrays may be None; both non-None means
+        # both views are materialised and consistent.
+        self._probs: dict[tuple[int, int], float] | None = {}
+        self._incident: list[set[tuple[int, int]]] | None = None
+        self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -62,10 +81,13 @@ class UncertainGraph:
     @classmethod
     def from_graph(cls, graph: Graph) -> "UncertainGraph":
         """Lift a certain graph: every edge gets probability 1."""
-        ug = cls(graph.num_vertices)
-        for u, v in graph.edges():
-            ug.set_probability(u, v, 1.0)
-        return ug
+        edges = graph.edge_array()
+        return cls.from_arrays(
+            graph.num_vertices,
+            edges[:, 0],
+            edges[:, 1],
+            np.ones(len(edges), dtype=np.float64),
+        )
 
     @classmethod
     def from_pairs(
@@ -77,12 +99,171 @@ class UncertainGraph:
             ug.set_probability(u, v, p)
         return ug
 
-    def copy(self) -> "UncertainGraph":
-        """Deep copy."""
-        ug = UncertainGraph(self._n)
-        ug._probs = dict(self._probs)
-        ug._incident = [set(s) for s in self._incident]
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        us: np.ndarray,
+        vs: np.ndarray,
+        ps: np.ndarray,
+        *,
+        keep_zero: bool = False,
+    ) -> "UncertainGraph":
+        """Vectorised constructor from parallel ``(us, vs, ps)`` arrays.
+
+        This is the Algorithm-2 fast path: validation, pair ordering and
+        zero-dropping are single array passes, and **no dict is built** —
+        the candidate set lives as the pair arrays until a per-pair query
+        forces materialisation.
+
+        Parameters
+        ----------
+        n:
+            Number of vertices.
+        us, vs:
+            Pair endpoints (any order; normalised to ``u < v``).
+        ps:
+            Pair probabilities in [0, 1].
+        keep_zero:
+            Retain ``p = 0`` entries in the candidate set (Alg. 2 stores
+            fully-deleted true edges this way); default drops them, like
+            :meth:`set_probability`.
+
+        Raises
+        ------
+        ValueError
+            On length mismatch, out-of-range vertices/probabilities,
+            self pairs, or duplicate pairs.
+        """
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        us = np.ascontiguousarray(us, dtype=np.int64).ravel()
+        vs = np.ascontiguousarray(vs, dtype=np.int64).ravel()
+        ps = np.ascontiguousarray(ps, dtype=np.float64).ravel()
+        if not (len(us) == len(vs) == len(ps)):
+            raise ValueError(
+                f"us/vs/ps must have equal lengths, got "
+                f"{len(us)}/{len(vs)}/{len(ps)}"
+            )
+        if len(us):
+            if us.min(initial=0) < 0 or vs.min(initial=0) < 0:
+                raise ValueError("vertex ids must be non-negative")
+            if us.max(initial=-1) >= n or vs.max(initial=-1) >= n:
+                raise ValueError(f"vertex ids must be < n={n}")
+            if (us == vs).any():
+                raise ValueError("pairs must have distinct endpoints")
+            # NaN fails both comparisons, so it is rejected here too.
+            if not ((ps >= 0.0) & (ps <= 1.0)).all():
+                raise ValueError("probabilities must lie in [0, 1]")
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        if not keep_zero:
+            keep = ps != 0.0
+            if not keep.all():
+                lo, hi, ps = lo[keep], hi[keep], ps[keep]
+        codes = lo * np.int64(n) + hi
+        if len(np.unique(codes)) != len(codes):
+            raise ValueError("duplicate pairs in from_arrays input")
+        ug = cls(n)
+        ug._probs = None
+        ps = ps.copy()  # never freeze (or alias) the caller's buffer
+        for arr in (lo, hi, ps):
+            arr.setflags(write=False)
+        ug._arrays = (lo, hi, ps)
         return ug
+
+    def copy(self) -> "UncertainGraph":
+        """Deep copy (caches are shared copy-on-write where immutable)."""
+        ug = UncertainGraph(self._n)
+        ug._probs = dict(self._probs) if self._probs is not None else None
+        ug._incident = None
+        ug._arrays = self._arrays  # tuple of read-only arrays; safe to share
+        ug._csr = self._csr
+        return ug
+
+    # ------------------------------------------------------------------
+    # lazy materialisation
+    # ------------------------------------------------------------------
+    def _probs_dict(self) -> dict[tuple[int, int], float]:
+        """The dict view, materialising it from the pair arrays if needed."""
+        if self._probs is None:
+            us, vs, ps = self._arrays
+            self._probs = dict(
+                zip(zip(us.tolist(), vs.tolist()), ps.tolist())
+            )
+        return self._probs
+
+    def _incident_sets(self) -> list[set[tuple[int, int]]]:
+        """Per-vertex incident key sets, materialised on demand."""
+        if self._incident is None:
+            incident: list[set[tuple[int, int]]] = [set() for _ in range(self._n)]
+            for key in self._probs_dict():
+                incident[key[0]].add(key)
+                incident[key[1]].add(key)
+            self._incident = incident
+        return self._incident
+
+    def _invalidate_caches(self) -> None:
+        self._arrays = None
+        self._csr = None
+
+    # ------------------------------------------------------------------
+    # array exports (the batched-engine fast path)
+    # ------------------------------------------------------------------
+    def pair_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate set as parallel read-only ``(us, vs, ps)`` arrays.
+
+        ``us[i] < vs[i]`` for every entry.  Built once and cached; any
+        :meth:`set_probability` call invalidates the cache.  This is the
+        input format of :class:`repro.uncertain.sampling.WorldSampler`
+        and of :meth:`incident_probability_csr`.
+        """
+        if self._arrays is None:
+            probs = self._probs  # non-None by invariant when _arrays is None
+            m = len(probs)
+            us = np.empty(m, dtype=np.int64)
+            vs = np.empty(m, dtype=np.int64)
+            ps = np.empty(m, dtype=np.float64)
+            for i, ((u, v), p) in enumerate(probs.items()):
+                us[i] = u
+                vs[i] = v
+                ps[i] = p
+            for arr in (us, vs, ps):
+                arr.setflags(write=False)
+            self._arrays = (us, vs, ps)
+        return self._arrays
+
+    def incident_probability_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Incident candidate probabilities of *all* vertices, CSR-grouped.
+
+        Returns
+        -------
+        (indptr, data):
+            ``data[indptr[v]:indptr[v+1]]`` are the probabilities of the
+            candidate pairs incident to ``v`` — the Bernoulli vector of
+            Equation 4.  Each pair appears twice in ``data`` (once per
+            endpoint); ``indptr`` has length ``n + 1``.
+
+        Notes
+        -----
+        One vectorised pass over the pair arrays replaces ``n`` separate
+        :meth:`incident_probabilities` calls; this is what feeds the
+        batched Poisson-binomial engine of
+        :mod:`repro.core.posterior_batch`.
+        """
+        if self._csr is None:
+            us, vs, ps = self.pair_arrays()
+            endpoints = np.concatenate([us, vs])
+            duplicated = np.concatenate([ps, ps])
+            counts = np.bincount(endpoints, minlength=self._n)
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            order = np.argsort(endpoints, kind="stable")
+            data = duplicated[order]
+            indptr.setflags(write=False)
+            data.setflags(write=False)
+            self._csr = (indptr, data)
+        return self._csr
 
     # ------------------------------------------------------------------
     # accessors
@@ -95,7 +276,9 @@ class UncertainGraph:
     @property
     def num_candidate_pairs(self) -> int:
         """Number of pairs carrying an explicit probability (``|E_C|``)."""
-        return len(self._probs)
+        if self._probs is not None:
+            return len(self._probs)
+        return len(self._arrays[0])
 
     def probability(self, u: int, v: int) -> float:
         """``p(u, v)``; pairs outside the candidate set return 0."""
@@ -103,27 +286,34 @@ class UncertainGraph:
         v = check_vertex(v, self._n, "v")
         if u == v:
             raise ValueError("pairs must have distinct endpoints")
-        return self._probs.get(_ordered(u, v), 0.0)
+        return self._probs_dict().get(_ordered(u, v), 0.0)
 
     def candidate_pairs(self) -> Iterator[tuple[int, int, float]]:
         """Iterate ``(u, v, p)`` triples of the candidate set (u < v)."""
-        for (u, v), p in self._probs.items():
-            yield (u, v, p)
+        if self._probs is None:
+            us, vs, ps = self._arrays
+            yield from zip(us.tolist(), vs.tolist(), ps.tolist())
+        else:
+            for (u, v), p in self._probs.items():
+                yield (u, v, p)
 
     def incident_pairs(self, v: int) -> list[tuple[int, int, float]]:
         """Candidate pairs touching ``v`` as ``(u, w, p)`` triples."""
         check_vertex(v, self._n)
-        return [(u, w, self._probs[(u, w)]) for (u, w) in self._incident[v]]
+        probs = self._probs_dict()
+        return [(u, w, probs[(u, w)]) for (u, w) in self._incident_sets()[v]]
 
     def incident_probabilities(self, v: int) -> np.ndarray:
         """Probabilities of the candidate pairs incident to ``v``.
 
         This is the Bernoulli vector feeding the Poisson-binomial degree
-        distribution of §4 (Equation 4 restricted to E_C).
+        distribution of §4 (Equation 4 restricted to E_C).  Scalar
+        counterpart of :meth:`incident_probability_csr`.
         """
         check_vertex(v, self._n)
+        probs = self._probs_dict()
         return np.array(
-            [self._probs[key] for key in self._incident[v]], dtype=np.float64
+            [probs[key] for key in self._incident_sets()[v]], dtype=np.float64
         )
 
     def expected_degree(self, v: int) -> float:
@@ -131,16 +321,16 @@ class UncertainGraph:
         return float(self.incident_probabilities(v).sum())
 
     def expected_degrees(self) -> np.ndarray:
-        """Vector of expected degrees for all vertices."""
+        """Vector of expected degrees for all vertices (one add.at pass)."""
+        us, vs, ps = self.pair_arrays()
         out = np.zeros(self._n, dtype=np.float64)
-        for (u, v), p in self._probs.items():
-            out[u] += p
-            out[v] += p
+        np.add.at(out, us, ps)
+        np.add.at(out, vs, ps)
         return out
 
     def expected_num_edges(self) -> float:
         """``E[S_NE] = Σ_e p(e)`` (the exact formula of §6.2)."""
-        return float(sum(self._probs.values()))
+        return float(self.pair_arrays()[2].sum())
 
     # ------------------------------------------------------------------
     # mutation
@@ -159,16 +349,20 @@ class UncertainGraph:
         if u == v:
             raise ValueError("pairs must have distinct endpoints")
         check_probability(p, "p")
+        probs = self._probs_dict()
+        self._invalidate_caches()
         key = _ordered(u, v)
         if p == 0.0 and not keep_zero:
-            if key in self._probs:
-                del self._probs[key]
-                self._incident[u].discard(key)
-                self._incident[v].discard(key)
+            if key in probs:
+                del probs[key]
+                if self._incident is not None:
+                    self._incident[u].discard(key)
+                    self._incident[v].discard(key)
             return
-        self._probs[key] = float(p)
-        self._incident[u].add(key)
-        self._incident[v].add(key)
+        probs[key] = float(p)
+        if self._incident is not None:
+            self._incident[u].add(key)
+            self._incident[v].add(key)
 
     # ------------------------------------------------------------------
     # possible-world semantics
@@ -184,7 +378,8 @@ class UncertainGraph:
             raise ValueError("world must share the vertex set")
         log_p = 0.0
         world_edges = world.edge_set()
-        for (u, v), p in self._probs.items():
+        probs = self._probs_dict()
+        for (u, v), p in probs.items():
             present = (u, v) in world_edges
             if present:
                 if p == 0.0:
@@ -194,7 +389,7 @@ class UncertainGraph:
                 if p == 1.0:
                     return -math.inf
                 log_p += math.log1p(-p)
-        if world_edges - set(self._probs):
+        if world_edges - set(probs):
             return -math.inf
         return log_p
 
@@ -208,7 +403,7 @@ class UncertainGraph:
         Exponential in ``|E_C|`` — intended for tests and the worked
         examples of §3 only; guarded at 20 candidate pairs.
         """
-        pairs = list(self._probs.items())
+        pairs = list(self._probs_dict().items())
         if len(pairs) > 20:
             raise ValueError(
                 f"refusing to enumerate 2^{len(pairs)} worlds; use sampling"
@@ -231,6 +426,7 @@ class UncertainGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"UncertainGraph(n={self._n}, candidate_pairs={len(self._probs)}, "
+            f"UncertainGraph(n={self._n}, "
+            f"candidate_pairs={self.num_candidate_pairs}, "
             f"expected_edges={self.expected_num_edges():.2f})"
         )

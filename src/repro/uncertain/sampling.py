@@ -39,15 +39,9 @@ class WorldSampler:
 
     def __init__(self, uncertain: UncertainGraph):
         self._n = uncertain.num_vertices
-        pairs = list(uncertain.candidate_pairs())
-        if pairs:
-            arr = np.array([(u, v) for u, v, _ in pairs], dtype=np.int64)
-            self._us, self._vs = arr[:, 0], arr[:, 1]
-            self._ps = np.array([p for _, _, p in pairs], dtype=np.float64)
-        else:
-            self._us = np.empty(0, dtype=np.int64)
-            self._vs = np.empty(0, dtype=np.int64)
-            self._ps = np.empty(0, dtype=np.float64)
+        # The graph's cached pair arrays (read-only) — no dict traversal,
+        # and samplers over the same graph share one copy.
+        self._us, self._vs, self._ps = uncertain.pair_arrays()
 
     @property
     def num_candidate_pairs(self) -> int:
