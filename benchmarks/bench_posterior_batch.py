@@ -10,9 +10,14 @@ equivalence assertion runs inline on every invocation.
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_posterior_batch.py
+
+``REPRO_BENCH_POSTERIOR_SCALE`` overrides the surrogate size (default
+0.45 ≈ 2000 vertices; CI smoke-runs at 0.1).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -29,7 +34,8 @@ from repro.graphs.datasets import dblp_like
 @pytest.fixture(scope="module")
 def surrogate():
     # scale=0.45 puts the surrogate at n ≈ 2000, m ≈ 6000.
-    graph = dblp_like(scale=0.45, seed=0)
+    scale = float(os.environ.get("REPRO_BENCH_POSTERIOR_SCALE", 0.45))
+    graph = dblp_like(scale=scale, seed=0)
     params = ObfuscationParams(k=1, eps=0.9, attempts=1)
     uncertain = generate_obfuscation(graph, 0.05, params, seed=0).uncertain
     width = int(graph.degrees().max()) + 2

@@ -1,0 +1,122 @@
+"""Sequential vs batched Table-4 evaluation (100 worlds, dblp surrogate).
+
+The headline perf claim of the :mod:`repro.worlds` engine: evaluating
+the full ten-statistic Table-4 family over 100 sampled possible worlds
+of an obfuscated dblp-like surrogate must be **≥5× faster** end-to-end
+than the sequential world-by-world estimator, while remaining
+seed-equivalent (same worlds, values within 1e-9 — asserted inline on
+every invocation).  Timings land in
+``benchmarks/results/worlds_speedup.csv``.
+
+Environment knobs:
+
+``REPRO_BENCH_WORLDS_SCALE``  surrogate size multiplier (default 0.45,
+                              n ≈ 2000 — the posterior bench's setting)
+``REPRO_BENCH_WORLDS``        worlds per run (default 100, the paper's
+                              Table-4/5 sample size)
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_worlds.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.generate import generate_obfuscation
+from repro.core.types import ObfuscationParams
+from repro.graphs.datasets import dblp_like
+from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
+from repro.stats.sampling import WorldStatisticsEstimator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SCALE = float(os.environ.get("REPRO_BENCH_WORLDS_SCALE", 0.45))
+WORLDS = int(os.environ.get("REPRO_BENCH_WORLDS", 100))
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def release():
+    """An obfuscated dblp-like surrogate (n ≈ 2000 at the default scale)."""
+    graph = dblp_like(scale=SCALE, seed=SEED)
+    params = ObfuscationParams(k=1, eps=0.9, attempts=1)
+    return generate_obfuscation(graph, 0.05, params, seed=SEED).uncertain
+
+
+def _estimator(release, backend: str) -> WorldStatisticsEstimator:
+    stats = paper_statistics(distance_backend="anf", seed=SEED)
+    options = (
+        {"distance_backend": "anf", "distance_seed": SEED}
+        if backend == "batched"
+        else {}
+    )
+    return WorldStatisticsEstimator(release, stats, backend=backend, **options)
+
+
+def test_equivalence_small(release):
+    """Same seed ⇒ same worlds ⇒ same table values (10-world spot check)."""
+    sequential = _estimator(release, "sequential").run(worlds=10, seed=SEED)
+    batched = _estimator(release, "batched").run(worlds=10, seed=SEED)
+    for name in PAPER_STATISTIC_NAMES:
+        np.testing.assert_allclose(
+            batched[name].values,
+            sequential[name].values,
+            atol=1e-9,
+            rtol=0,
+            err_msg=name,
+        )
+
+
+def test_speedup_full_table4(release):
+    """The ≥5× end-to-end claim on the paper-sized 100-world run."""
+    t0 = time.perf_counter()
+    sequential = _estimator(release, "sequential").run(worlds=WORLDS, seed=SEED)
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = _estimator(release, "batched").run(worlds=WORLDS, seed=SEED)
+    t_bat = time.perf_counter() - t0
+
+    for name in PAPER_STATISTIC_NAMES:
+        np.testing.assert_allclose(
+            batched[name].values,
+            sequential[name].values,
+            atol=1e-9,
+            rtol=0,
+            err_msg=name,
+        )
+
+    speedup = t_seq / t_bat
+    rows = [
+        {
+            "backend": "sequential",
+            "worlds": WORLDS,
+            "scale": SCALE,
+            "seconds": round(t_seq, 4),
+            "ms_per_world": round(1000 * t_seq / WORLDS, 3),
+            "speedup": 1.0,
+        },
+        {
+            "backend": "batched",
+            "worlds": WORLDS,
+            "scale": SCALE,
+            "seconds": round(t_bat, 4),
+            "ms_per_world": round(1000 * t_bat / WORLDS, 3),
+            "speedup": round(speedup, 2),
+        },
+    ]
+    from repro.experiments.report import save_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_csv(rows, RESULTS_DIR / "worlds_speedup.csv")
+    print(
+        f"\nTable-4 over {WORLDS} worlds (scale={SCALE}): "
+        f"sequential {t_seq:.2f}s, batched {t_bat:.2f}s — {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, f"expected >=5x end-to-end, measured {speedup:.2f}x"

@@ -18,6 +18,7 @@ Subpackages
 -----------
 ``repro.graphs``     certain-graph substrate (structure, generators, datasets)
 ``repro.uncertain``  uncertain-graph model and possible-world sampling
+``repro.worlds``     batched possible-world engine (§6 utility evaluation)
 ``repro.core``       the paper's obfuscation algorithms (§3–§5)
 ``repro.baselines``  random sparsification/perturbation comparators (§7.3)
 ``repro.stats``      utility statistics and sampling estimators (§6)

@@ -104,6 +104,12 @@ def init_registers(n: int, *, b: int = 6, seed: int = 0) -> np.ndarray:
     return regs
 
 
+#: ``2^-r`` for every possible uint8 register value — the estimator's
+#: only transcendental, tabulated once.  Entries are exact powers of two,
+#: so the lookup is bit-identical to calling ``np.exp2`` elementwise.
+_EXP2_NEG = np.exp2(-np.arange(256, dtype=np.float64))
+
+
 def estimate_many(regs: np.ndarray) -> np.ndarray:
     """Cardinality estimate per row of a register matrix.
 
@@ -116,7 +122,11 @@ def estimate_many(regs: np.ndarray) -> np.ndarray:
         regs = regs[None, :]
     n_rows, m = regs.shape
     alpha = _alpha(m)
-    power = np.exp2(-regs.astype(np.float64))
+    power = (
+        _EXP2_NEG[regs]
+        if regs.dtype == np.uint8
+        else np.exp2(-regs.astype(np.float64))
+    )
     raw = alpha * m * m / power.sum(axis=1)
     zeros = (regs == 0).sum(axis=1)
     small = (raw <= 2.5 * m) & (zeros > 0)

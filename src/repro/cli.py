@@ -71,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("anf", "exact", "sampled"),
         help="distance-statistic backend",
     )
+    p.add_argument(
+        "--world-backend",
+        default="batched",
+        choices=("batched", "sequential"),
+        help=(
+            "world-sampling engine: 'batched' evaluates all worlds "
+            "through the repro.worlds multi-world kernels, 'sequential' "
+            "is the seed-equivalent one-world-at-a-time path"
+        ),
+    )
 
     p = sub.add_parser("sample", help="draw one possible world")
     p.add_argument("--release", required=True, help="uncertain-graph file")
@@ -128,7 +138,14 @@ def _cmd_stats(args) -> int:
         f"E[edges]={release.expected_num_edges():.2f}"
     )
     stats = paper_statistics(distance_backend=args.backend, seed=args.seed)
-    estimator = WorldStatisticsEstimator(release, stats)
+    backend_options = (
+        {"distance_backend": args.backend, "distance_seed": args.seed}
+        if args.world_backend == "batched"
+        else {}
+    )
+    estimator = WorldStatisticsEstimator(
+        release, stats, backend=args.world_backend, **backend_options
+    )
     summaries = estimator.run(worlds=args.worlds, seed=args.seed)
     print(f"{'statistic':<10} {'mean':>14} {'rel.SEM':>10}")
     for name, summary in summaries.items():

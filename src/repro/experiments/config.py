@@ -72,6 +72,11 @@ class ExperimentConfig:
         Root seed; every runner derives child streams from it.
     distance_backend:
         ``"anf"`` (paper-faithful), ``"sampled"``, or ``"exact"``.
+    world_backend:
+        World-sampling engine for Tables 4–5: ``"batched"`` (default —
+        the :mod:`repro.worlds` multi-world kernels) or
+        ``"sequential"`` (the one-world-at-a-time ground-truth path).
+        Both are seed-equivalent: same worlds, same table values.
     """
 
     datasets: tuple[str, ...] = ("dblp", "flickr", "y360")
@@ -87,6 +92,7 @@ class ExperimentConfig:
     baseline_samples: int = 50
     seed: int = 0
     distance_backend: str = "anf"
+    world_backend: str = "batched"
     dataset_seed: int = 0
     _graph_cache: dict = field(default_factory=dict, compare=False, hash=False)
 

@@ -147,7 +147,19 @@ def evaluate_utility(
     stats = paper_statistics(
         distance_backend=config.distance_backend, seed=config.seed
     )
-    estimator = WorldStatisticsEstimator(entry.result.uncertain, stats)
+    backend_options = (
+        # Mirror the registry configuration so the batched kernels
+        # compute exactly what the sequential callables would.
+        {"distance_backend": config.distance_backend, "distance_seed": config.seed}
+        if config.world_backend == "batched"
+        else {}
+    )
+    estimator = WorldStatisticsEstimator(
+        entry.result.uncertain,
+        stats,
+        backend=config.world_backend,
+        **backend_options,
+    )
     summaries = estimator.run(worlds=config.worlds, seed=(config.seed, entry.k))
     if cache is not None:
         cache[key] = summaries

@@ -66,6 +66,50 @@ class Graph:
                 g.add_edge(u, v)
         return g
 
+    @classmethod
+    def from_edge_array(cls, n: int, edges: np.ndarray) -> "Graph":
+        """Bulk-build a graph from an ``(m, 2)`` integer edge array.
+
+        The vectorised counterpart of :meth:`from_edges`: validation,
+        ``(u, v)``/``(v, u)`` normalisation and duplicate collapsing are
+        single array passes, and the adjacency sets are constructed one
+        whole neighbour block at a time instead of via ``2m`` Python-level
+        ``add_edge`` calls.  This is the materialisation fast path of the
+        possible-world engine (:mod:`repro.worlds`), where every sampled
+        world becomes a graph.
+
+        Parameters
+        ----------
+        n:
+            Number of vertices.
+        edges:
+            Integer array of shape ``(m, 2)`` (any endpoint order;
+            duplicates and mirrors are collapsed, as in
+            :meth:`from_edges`).  Self loops raise.
+        """
+        edges = np.ascontiguousarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        if len(edges) == 0:
+            return cls(n)
+        if edges.min() < 0 or edges.max() >= n:
+            raise ValueError(f"vertex ids must lie in [0, {n})")
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        if (lo == hi).any():
+            raise ValueError("self loops are not allowed")
+        codes = np.unique(lo * np.int64(n) + hi)  # dedupe + sort
+        lo, hi = codes // n, codes % n
+        heads = np.concatenate([lo, hi])
+        tails = np.concatenate([hi, lo])
+        order = np.argsort(heads, kind="stable")
+        counts = np.bincount(heads, minlength=n)
+        blocks = np.split(tails[order], np.cumsum(counts)[:-1])
+        g = cls(n)
+        g._adj = [set(block.tolist()) for block in blocks]
+        g._num_edges = len(codes)
+        return g
+
     def copy(self) -> "Graph":
         """Return a deep copy (independent adjacency sets)."""
         g = Graph(self.num_vertices)

@@ -21,27 +21,37 @@ from repro.graphs.graph import Graph
 from repro.utils.validation import check_vertex
 
 
-def _gather_neighbors(
-    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
-) -> np.ndarray:
-    """Concatenate the CSR neighbour lists of every vertex in ``frontier``.
+def multi_range(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[s, s+c)`` integer ranges without a Python loop.
 
-    Implemented with the classic repeat/cumsum multi-range-gather trick so
-    no Python-level loop runs over frontier vertices.
+    The classic repeat/cumsum multi-range-gather trick: build the flat
+    index vector ``[s0, s0+1, .., s0+c0-1, s1, ...]`` from per-range
+    starts and lengths.  Zero-length ranges contribute nothing.  Shared
+    by the BFS frontier gather below and the batched world kernels
+    (:mod:`repro.worlds`), which use it to slice CSR blocks en masse.
     """
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
     nonzero = counts > 0
-    starts, counts = starts[nonzero], counts[nonzero]
+    if not nonzero.all():
+        starts, counts = starts[nonzero], counts[nonzero]
     total = int(counts.sum())
     if total == 0:
-        return np.empty(0, dtype=indices.dtype)
-    # Build the flat index vector [s0, s0+1, .., s0+c0-1, s1, ...] without loops.
+        return np.empty(0, dtype=np.int64)
     deltas = np.ones(total, dtype=np.int64)
     ends = np.cumsum(counts)
     deltas[0] = starts[0]
     deltas[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
-    return indices[np.cumsum(deltas)]
+    return np.cumsum(deltas)
+
+
+def _gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR neighbour lists of every vertex in ``frontier``."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    return indices[multi_range(starts, counts)]
 
 
 def bfs_distances(

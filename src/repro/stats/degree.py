@@ -75,9 +75,25 @@ def powerlaw_exponent(
     """
     if graph.num_vertices == 0:
         return 0.0
+    return powerlaw_exponent_from_distribution(
+        degree_distribution(graph),
+        average_degree=average_degree(graph),
+        d_min=d_min,
+    )
+
+
+def powerlaw_exponent_from_distribution(
+    dist: np.ndarray, *, average_degree: float, d_min: int | None = None
+) -> float:
+    """The S_PL fit on a precomputed degree distribution.
+
+    Shared by :func:`powerlaw_exponent` and the batched world engine
+    (:mod:`repro.worlds.stats_batch`), which computes all worlds' degree
+    distributions in one pass and must fit each exactly as the scalar
+    path would — a single code path guarantees bit-equal slopes.
+    """
     if d_min is None:
-        d_min = max(2, int(round(average_degree(graph))))
-    dist = degree_distribution(graph)
+        d_min = max(2, int(round(average_degree)))
     ds = np.nonzero(dist)[0]
     ds = ds[ds >= d_min]
     if len(ds) < 2:

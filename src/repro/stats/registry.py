@@ -53,6 +53,33 @@ PAPER_STATISTIC_NAMES = (
 )
 
 
+class StatisticFamily(dict):
+    """A statistics mapping that remembers how it was configured.
+
+    ``paper_statistics`` returns this instead of a plain dict so that
+    alternative evaluation engines (the batched world estimator) can
+    recognise the registry family, adopt the exact configuration its
+    closures embed, and refuse silently-divergent overrides.  For any
+    other mapping the engines must treat every entry as an opaque
+    ``Graph → float`` callable.
+    """
+
+    def __init__(
+        self,
+        entries,
+        *,
+        distance_backend: str,
+        sample_size: int | None,
+        seed,
+        powerlaw_d_min: int | None,
+    ):
+        super().__init__(entries)
+        self.distance_backend = distance_backend
+        self.sample_size = sample_size
+        self.seed = seed
+        self.powerlaw_d_min = powerlaw_d_min
+
+
 class _HistogramCache:
     """Share one distance histogram among the distance statistics.
 
@@ -116,23 +143,30 @@ def paper_statistics(
 
     Returns
     -------
-    dict[str, Callable[[Graph], float]]
-        Statistic name → callable, in Table-4 column order.
+    StatisticFamily
+        Statistic name → callable, in Table-4 column order, tagged with
+        the configuration so batched engines can reproduce it exactly.
     """
     cache = _HistogramCache(distance_backend, sample_size, seed)
 
-    return {
-        "S_NE": num_edges,
-        "S_AD": average_degree,
-        "S_MD": max_degree,
-        "S_DV": degree_variance,
-        "S_PL": lambda g: powerlaw_exponent(g, d_min=powerlaw_d_min),
-        "S_APD": lambda g: average_distance(cache.get(g)),
-        "S_DiamLB": lambda g: diameter(cache.get(g)),
-        "S_EDiam": lambda g: effective_diameter(cache.get(g)),
-        "S_CL": lambda g: connectivity_length(cache.get(g)),
-        "S_CC": clustering_coefficient,
-    }
+    return StatisticFamily(
+        {
+            "S_NE": num_edges,
+            "S_AD": average_degree,
+            "S_MD": max_degree,
+            "S_DV": degree_variance,
+            "S_PL": lambda g: powerlaw_exponent(g, d_min=powerlaw_d_min),
+            "S_APD": lambda g: average_distance(cache.get(g)),
+            "S_DiamLB": lambda g: diameter(cache.get(g)),
+            "S_EDiam": lambda g: effective_diameter(cache.get(g)),
+            "S_CL": lambda g: connectivity_length(cache.get(g)),
+            "S_CC": clustering_coefficient,
+        },
+        distance_backend=distance_backend,
+        sample_size=sample_size,
+        seed=seed,
+        powerlaw_d_min=powerlaw_d_min,
+    )
 
 
 def degree_only_statistics() -> dict[str, Callable[[Graph], float]]:

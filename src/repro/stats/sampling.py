@@ -122,6 +122,18 @@ class WorldStatisticsEstimator:
     statistics:
         Mapping from statistic name to a ``Graph → float`` callable.
 
+    backend:
+        ``"sequential"`` (default) evaluates one world at a time;
+        ``"batched"`` delegates to
+        :class:`repro.worlds.BatchedWorldStatisticsEstimator`, which
+        draws the same worlds from the same RNG stream but evaluates the
+        paper-family statistics through vectorised multi-world kernels
+        (seed-equivalent: same worlds, same values to fp round-off).
+    backend_options:
+        Extra keyword arguments for the batched backend
+        (``distance_backend``, ``distance_seed``, ``chunk_size``, ...);
+        rejected for the sequential backend.
+
     Examples
     --------
     >>> from repro.uncertain import UncertainGraph
@@ -137,7 +149,28 @@ class WorldStatisticsEstimator:
         self,
         uncertain: UncertainGraph,
         statistics: Mapping[str, GraphStatistic],
+        *,
+        backend: str = "sequential",
+        **backend_options,
     ):
+        if backend not in ("sequential", "batched"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use sequential or batched"
+            )
+        if backend == "sequential" and backend_options:
+            raise ValueError(
+                "backend options "
+                f"{sorted(backend_options)} require backend='batched'"
+            )
+        self._backend = backend
+        self._delegate = None
+        if backend == "batched":
+            # Imported lazily: repro.worlds builds on this module.
+            from repro.worlds.estimator import BatchedWorldStatisticsEstimator
+
+            self._delegate = BatchedWorldStatisticsEstimator(
+                uncertain, statistics, **backend_options
+            )
         self._sampler = WorldSampler(uncertain)
         self._statistics = dict(statistics)
 
@@ -163,6 +196,12 @@ class WorldStatisticsEstimator:
         """
         if worlds < 1:
             raise ValueError(f"need at least one world, got {worlds}")
+        if self._delegate is not None:
+            summaries = self._delegate.run(
+                worlds=worlds, seed=seed, collect_worlds=collect_worlds
+            )
+            self.last_worlds = self._delegate.last_worlds
+            return summaries
         rng = as_rng(seed)
         values: dict[str, list[float]] = {name: [] for name in self._statistics}
         self.last_worlds: list[Graph] = []

@@ -49,13 +49,20 @@ class WorldSampler:
         return len(self._ps)
 
     def sample(self, *, seed=None) -> Graph:
-        """Draw one possible world."""
+        """Draw one possible world.
+
+        One Bernoulli pass over the pair array plus one bulk
+        :meth:`Graph.from_edge_array` materialisation — no per-edge
+        Python calls.  This sequential path is the ground truth that the
+        batched engine (:class:`repro.worlds.WorldBatch`) is pinned to:
+        both consume the RNG stream identically, so equal seeds produce
+        equal worlds.
+        """
         rng = as_rng(seed)
         keep = rng.random(len(self._ps)) < self._ps
-        g = Graph(self._n)
-        for u, v in zip(self._us[keep], self._vs[keep]):
-            g.add_edge(int(u), int(v))
-        return g
+        return Graph.from_edge_array(
+            self._n, np.column_stack([self._us[keep], self._vs[keep]])
+        )
 
     def sample_many(self, count: int, *, seed=None) -> Iterator[Graph]:
         """Yield ``count`` independent possible worlds from one seed."""

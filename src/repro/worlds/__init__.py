@@ -1,0 +1,62 @@
+"""repro.worlds — batched possible-world engine for §6 utility evaluation.
+
+The paper's utility tables (Tables 4–6) average ten statistics over
+~100 sampled possible worlds per obfuscated graph.  The sequential path
+(:class:`repro.uncertain.sampling.WorldSampler` +
+:class:`repro.stats.sampling.WorldStatisticsEstimator`) draws and
+measures one world at a time; this package does the same work in
+batches and is the engine behind ``backend="batched"`` everywhere a
+world sample is evaluated (harness, CLI, benchmarks).
+
+Architecture
+------------
+Four layers, each consuming the previous one's flat-array output::
+
+    batch.py        WorldBatch — W worlds from one (W, m) Bernoulli
+                    pass over the shared candidate-pair arrays, stored
+                    bit-packed; exposes flat world-offset edge lists
+                    (one W·n-vertex disjoint union) and lazy per-world
+                    Graph materialisation via Graph.from_edge_array.
+    stats_batch.py  degree family (S_NE, S_AD, S_MD, S_DV, S_PL) from
+                    one flattened bincount; triangles / S_CC by chunked
+                    vectorised wedge closure over the union CSR.
+    anf_batch.py    multi-world HyperANF — registers stacked into a
+                    (W·n, 2^b) uint8 matrix, merged per step by a
+                    degree-grouped segmented max over a change frontier,
+                    per-world fixed-point convergence; yields the four
+                    distance statistics.
+    estimator.py    BatchedWorldStatisticsEstimator — chunked, streaming
+                    drop-in backend for WorldStatisticsEstimator with
+                    bounded memory and name-based kernel dispatch.
+
+Determinism contract: a batch consumes the RNG stream exactly as the
+sequential sampler would (NumPy fills ``(W, m)`` uniforms in C order),
+so for equal seeds the engine reproduces the *same worlds* and — by
+sharing the sequential statistic arithmetic — the same table values.
+Equivalence tests in ``tests/worlds/`` pin both properties.
+"""
+
+from repro.worlds.anf_batch import anf_distance_statistics_batch, hyperanf_batch
+from repro.worlds.batch import WorldBatch
+from repro.worlds.estimator import (
+    BATCHED_STATISTIC_NAMES,
+    BatchedWorldStatisticsEstimator,
+)
+from repro.worlds.stats_batch import (
+    clustering_coefficients_batch,
+    degree_matrix,
+    degree_statistics_batch,
+    triangle_counts_batch,
+)
+
+__all__ = [
+    "WorldBatch",
+    "BatchedWorldStatisticsEstimator",
+    "BATCHED_STATISTIC_NAMES",
+    "degree_matrix",
+    "degree_statistics_batch",
+    "triangle_counts_batch",
+    "clustering_coefficients_batch",
+    "hyperanf_batch",
+    "anf_distance_statistics_batch",
+]

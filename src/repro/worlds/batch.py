@@ -1,0 +1,246 @@
+"""Batched possible-world sampling: ``W`` worlds in one Bernoulli pass.
+
+A :class:`WorldBatch` is the multi-world counterpart of
+:class:`repro.uncertain.sampling.WorldSampler`: instead of flipping the
+``m`` candidate pairs once per world, it draws a ``(W, m)`` uniform
+matrix in a single RNG call and compares it against the shared
+probability vector.  Because NumPy's ``Generator.random`` consumes the
+underlying bit stream in C order, row ``w`` of that matrix is exactly
+the ``w``-th vector a sequential sampler would have drawn from the same
+generator — so a batch and ``WorldSampler.sample_many`` with the same
+seed produce *identical* edge sets.  Equivalence tests pin this.
+
+The keep matrix is stored **bit-packed** (``W × ⌈m/8⌉`` bytes) so that
+hundreds of worlds over hundreds of thousands of candidate pairs fit
+comfortably in memory; the boolean view is unpacked transiently when a
+kernel needs it.  Graphs are materialised lazily and in bulk via
+:meth:`repro.graphs.graph.Graph.from_edge_array` — the batch itself
+never holds per-world Python objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.uncertain.graph import UncertainGraph
+from repro.utils.rng import as_rng
+
+
+class WorldBatch:
+    """``W`` possible worlds of one uncertain graph, held as packed bits.
+
+    Construct via :meth:`sample` (the normal path) or
+    :meth:`from_keep_matrix` (tests / replay).
+
+    Examples
+    --------
+    >>> from repro.uncertain import UncertainGraph
+    >>> ug = UncertainGraph.from_pairs(3, [(0, 1, 1.0), (1, 2, 0.0)])
+    >>> batch = WorldBatch.sample(ug, 4, seed=0)
+    >>> [g.num_edges for g in batch.graphs()]
+    [1, 1, 1, 1]
+    """
+
+    __slots__ = (
+        "_n",
+        "_us",
+        "_vs",
+        "_num_worlds",
+        "_num_pairs",
+        "_packed",
+        "_flat",
+        "_csr",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        us: np.ndarray,
+        vs: np.ndarray,
+        packed: np.ndarray,
+        num_pairs: int,
+    ):
+        self._n = int(n)
+        self._us = us
+        self._vs = vs
+        self._packed = packed
+        self._num_worlds = packed.shape[0]
+        self._num_pairs = int(num_pairs)
+        self._flat: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls, uncertain: UncertainGraph, worlds: int, *, seed=None
+    ) -> "WorldBatch":
+        """Draw ``worlds`` independent possible worlds in one pass.
+
+        Parameters
+        ----------
+        uncertain:
+            The published uncertain graph.
+        worlds:
+            Number of worlds ``W``.
+        seed:
+            Anything :func:`repro.utils.rng.as_rng` accepts.  Passing a
+            ``Generator`` consumes ``W·m`` uniforms from it — the same
+            stream positions a sequential sampler would use, so batched
+            and sequential draws from one generator interleave exactly.
+        """
+        if worlds < 0:
+            raise ValueError(f"number of worlds must be non-negative, got {worlds}")
+        us, vs, ps = uncertain.pair_arrays()
+        rng = as_rng(seed)
+        # Draw in row groups so the float64 uniform transient stays
+        # bounded (the stored batch is the packed bits); C-order row
+        # fill means any grouping consumes the identical RNG stream.
+        rows_per_draw = max(1, (8 << 20) // max(len(ps), 1))
+        packed_parts = []
+        for lo in range(0, worlds, rows_per_draw):
+            count = min(rows_per_draw, worlds - lo)
+            keep = rng.random((count, len(ps))) < ps
+            packed_parts.append(
+                np.packbits(keep, axis=1)
+                if keep.size
+                else np.zeros((count, 0), dtype=np.uint8)
+            )
+        packed = (
+            np.concatenate(packed_parts, axis=0)
+            if packed_parts
+            else np.zeros((0, (len(ps) + 7) // 8), dtype=np.uint8)
+        )
+        return cls(uncertain.num_vertices, us, vs, packed, len(ps))
+
+    @classmethod
+    def from_keep_matrix(
+        cls, n: int, us: np.ndarray, vs: np.ndarray, keep: np.ndarray
+    ) -> "WorldBatch":
+        """Wrap an explicit boolean ``(W, m)`` keep matrix (tests/replay)."""
+        keep = np.asarray(keep, dtype=bool)
+        if keep.ndim != 2 or keep.shape[1] != len(us):
+            raise ValueError(
+                f"keep matrix must have shape (W, {len(us)}), got {keep.shape}"
+            )
+        packed = np.packbits(keep, axis=1) if keep.size else np.zeros(
+            (keep.shape[0], 0), dtype=np.uint8
+        )
+        return cls(n, us, vs, packed, keep.shape[1])
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_worlds(self) -> int:
+        """Number of worlds ``W`` in the batch."""
+        return self._num_worlds
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n`` (shared by every world)."""
+        return self._n
+
+    @property
+    def num_candidate_pairs(self) -> int:
+        """Number of candidate pairs ``m`` flipped per world."""
+        return self._num_pairs
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the packed keep matrix."""
+        return int(self._packed.nbytes)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def keep_matrix(self) -> np.ndarray:
+        """The boolean ``(W, m)`` keep matrix (unpacked transiently)."""
+        if self._num_pairs == 0:
+            return np.zeros((self._num_worlds, 0), dtype=bool)
+        return np.unpackbits(self._packed, axis=1, count=self._num_pairs).astype(
+            bool, copy=False
+        )
+
+    def world_mask(self, w: int) -> np.ndarray:
+        """Boolean keep vector of world ``w``."""
+        if not 0 <= w < self._num_worlds:
+            raise IndexError(f"world index {w} out of range [0, {self._num_worlds})")
+        if self._num_pairs == 0:
+            return np.zeros(0, dtype=bool)
+        return np.unpackbits(self._packed[w], count=self._num_pairs).astype(
+            bool, copy=False
+        )
+
+    def edge_counts(self) -> np.ndarray:
+        """Edges per world — the batched ``S_NE`` column, and a cheap
+        sanity signal (``E[counts] ≈ Σ p(e)``)."""
+        if self._num_pairs == 0:
+            return np.zeros(self._num_worlds, dtype=np.int64)
+        # popcount on the packed bytes: no need to unpack the matrix
+        table = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+            axis=1
+        )
+        return table[self._packed].sum(axis=1).astype(np.int64)
+
+    def world_edges(self, w: int) -> np.ndarray:
+        """Edges of world ``w`` as an ``(m_w, 2)`` array."""
+        mask = self.world_mask(w)
+        return np.column_stack([self._us[mask], self._vs[mask]])
+
+    def flat_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All kept edges of all worlds, flattened with world ids.
+
+        Returns
+        -------
+        (world_ids, us, vs):
+            Parallel arrays over every kept (world, pair) incidence.
+            Offsetting endpoints by ``world_ids · n`` turns the batch
+            into one big ``W·n``-vertex disjoint-union graph — the
+            layout every batched kernel (degrees, triangles, HyperANF)
+            diffuses over in a single scatter pass.  Computed once per
+            batch and cached (several kernels consume it).
+        """
+        if self._flat is None:
+            w_idx, pair_idx = np.nonzero(self.keep_matrix())
+            self._flat = (w_idx, self._us[pair_idx], self._vs[pair_idx])
+        return self._flat
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency of the ``W·n``-vertex disjoint-union graph.
+
+        Returns
+        -------
+        (indptr, indices):
+            ``indices[indptr[x]:indptr[x+1]]`` are the sorted neighbours
+            of flattened vertex ``x = w·n + v``.  World ``w`` occupies
+            rows ``[w·n, (w+1)·n)``; slicing ``indptr`` there yields the
+            world's own CSR.  Built once per batch and cached.
+        """
+        if self._csr is None:
+            w_idx, us, vs = self.flat_edges()
+            offset = w_idx * np.int64(self._n)
+            heads = np.concatenate([offset + us, offset + vs])
+            tails = np.concatenate([offset + vs, offset + us])
+            order = np.lexsort((tails, heads))
+            counts = np.bincount(heads, minlength=self._num_worlds * self._n)
+            indptr = np.zeros(self._num_worlds * self._n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (indptr, tails[order])
+        return self._csr
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def world_graph(self, w: int) -> Graph:
+        """Materialise world ``w`` as a :class:`Graph` (bulk constructor)."""
+        return Graph.from_edge_array(self._n, self.world_edges(w))
+
+    def graphs(self) -> Iterator[Graph]:
+        """Lazily materialise every world in order."""
+        for w in range(self._num_worlds):
+            yield self.world_graph(w)

@@ -1,0 +1,134 @@
+"""Tests for :class:`repro.worlds.WorldBatch` — sampling determinism.
+
+The load-bearing property: a batch drawn with seed ``s`` reproduces the
+*exact* edge sets of ``WorldSampler.sample_many`` with the same seed
+(ISSUE 2 satellite).  Everything downstream (statistics equivalence)
+rests on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.sampling import WorldSampler
+from repro.worlds import WorldBatch
+
+from tests.worlds.conftest import random_uncertain
+
+
+class TestSeedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 42, 2**40 + 3])
+    def test_reproduces_sample_many(self, small_uncertain, seed):
+        W = 9
+        batch = WorldBatch.sample(small_uncertain, W, seed=seed)
+        sequential = list(WorldSampler(small_uncertain).sample_many(W, seed=seed))
+        for w in range(W):
+            assert batch.world_graph(w) == sequential[w]
+
+    def test_property_random_graphs(self):
+        """Property test over random graph shapes and seeds."""
+        rng = np.random.default_rng(99)
+        for trial in range(10):
+            n = int(rng.integers(2, 40))
+            pairs = int(rng.integers(0, max(1, n * (n - 1) // 4)))
+            ug = random_uncertain(n, pairs, seed=trial) if pairs else UncertainGraph(n)
+            seed = int(rng.integers(0, 2**31))
+            W = int(rng.integers(1, 12))
+            batch = WorldBatch.sample(ug, W, seed=seed)
+            sequential = list(WorldSampler(ug).sample_many(W, seed=seed))
+            for w in range(W):
+                assert batch.world_graph(w) == sequential[w]
+
+    def test_shared_generator_interleaves(self, small_uncertain):
+        """Drawing from one Generator consumes the same stream positions."""
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        batch = WorldBatch.sample(small_uncertain, 6, seed=rng_a)
+        sequential = list(WorldSampler(small_uncertain).sample_many(6, seed=rng_b))
+        for w in range(6):
+            assert batch.world_graph(w) == sequential[w]
+        # both generators must now be at the same stream position
+        assert rng_a.random() == rng_b.random()
+
+
+class TestViews:
+    def test_shapes(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 5, seed=0)
+        assert batch.num_worlds == 5
+        assert batch.num_vertices == small_uncertain.num_vertices
+        assert batch.num_candidate_pairs == small_uncertain.num_candidate_pairs
+        assert batch.keep_matrix().shape == (5, batch.num_candidate_pairs)
+
+    def test_bitpack_roundtrip(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 7, seed=3)
+        keep = batch.keep_matrix()
+        for w in range(7):
+            np.testing.assert_array_equal(batch.world_mask(w), keep[w])
+        # packed storage is 8x smaller than the boolean matrix
+        assert batch.nbytes <= keep.size // 8 + 7 * 1
+
+    def test_edge_counts_match_masks(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 11, seed=1)
+        np.testing.assert_array_equal(
+            batch.edge_counts(), batch.keep_matrix().sum(axis=1)
+        )
+
+    def test_flat_edges_consistent(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 4, seed=2)
+        w_idx, us, vs = batch.flat_edges()
+        assert len(w_idx) == int(batch.edge_counts().sum())
+        for w in range(4):
+            mask = w_idx == w
+            got = set(zip(us[mask].tolist(), vs[mask].tolist()))
+            assert got == batch.world_graph(w).edge_set()
+
+    def test_csr_matches_per_world_graphs(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 3, seed=4)
+        indptr, indices = batch.csr()
+        n = batch.num_vertices
+        assert len(indptr) == 3 * n + 1
+        for w in range(3):
+            g_indptr, g_indices = batch.world_graph(w).to_csr()
+            lo, hi = indptr[w * n], indptr[(w + 1) * n]
+            np.testing.assert_array_equal(indptr[w * n : (w + 1) * n + 1] - lo,
+                                          g_indptr)
+            np.testing.assert_array_equal(indices[lo:hi] - w * n, g_indices)
+
+    def test_world_mask_bounds(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 2, seed=0)
+        with pytest.raises(IndexError):
+            batch.world_mask(2)
+        with pytest.raises(IndexError):
+            batch.world_mask(-1)
+
+
+class TestEdgeCases:
+    def test_empty_candidate_set(self):
+        batch = WorldBatch.sample(UncertainGraph(6), 4, seed=0)
+        assert batch.num_candidate_pairs == 0
+        np.testing.assert_array_equal(batch.edge_counts(), np.zeros(4))
+        assert all(g.num_edges == 0 for g in batch.graphs())
+
+    def test_zero_worlds(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 0, seed=0)
+        assert batch.num_worlds == 0
+        assert list(batch.graphs()) == []
+
+    def test_negative_worlds_rejected(self, small_uncertain):
+        with pytest.raises(ValueError):
+            WorldBatch.sample(small_uncertain, -1, seed=0)
+
+    def test_certain_and_impossible_pairs(self):
+        ug = UncertainGraph(3)
+        ug.set_probability(0, 1, 1.0)
+        ug.set_probability(1, 2, 0.0, keep_zero=True)
+        batch = WorldBatch.sample(ug, 8, seed=0)
+        for g in batch.graphs():
+            assert g.has_edge(0, 1) and not g.has_edge(1, 2)
+
+    def test_from_keep_matrix_shape_check(self, small_uncertain):
+        us, vs, _ = small_uncertain.pair_arrays()
+        with pytest.raises(ValueError, match="keep matrix"):
+            WorldBatch.from_keep_matrix(
+                small_uncertain.num_vertices, us, vs, np.ones((2, 3), dtype=bool)
+            )

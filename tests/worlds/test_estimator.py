@@ -1,0 +1,204 @@
+"""End-to-end equivalence: batched estimator vs the sequential ground truth.
+
+The tentpole acceptance criterion: same seed ⇒ same worlds ⇒ Table-4
+values within 1e-9, for every distance backend and any chunking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.degree import num_edges
+from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
+from repro.stats.sampling import WorldStatisticsEstimator
+from repro.worlds import BATCHED_STATISTIC_NAMES, BatchedWorldStatisticsEstimator
+
+from tests.worlds.conftest import random_uncertain
+
+
+def _run_pair(uncertain, *, distance_backend, worlds, seed, chunk_size=32):
+    stats = paper_statistics(distance_backend=distance_backend, seed=seed)
+    sequential = WorldStatisticsEstimator(uncertain, stats).run(
+        worlds=worlds, seed=seed
+    )
+    batched = BatchedWorldStatisticsEstimator(
+        uncertain,
+        stats,
+        distance_backend=distance_backend,
+        distance_seed=seed,
+        chunk_size=chunk_size,
+    ).run(worlds=worlds, seed=seed)
+    return sequential, batched
+
+
+class TestTable4Equivalence:
+    @pytest.mark.parametrize("distance_backend", ["anf", "exact", "sampled"])
+    def test_all_statistics_match(self, denser_uncertain, distance_backend):
+        sequential, batched = _run_pair(
+            denser_uncertain, distance_backend=distance_backend, worlds=10, seed=4
+        )
+        assert set(batched) == set(PAPER_STATISTIC_NAMES)
+        for name in PAPER_STATISTIC_NAMES:
+            np.testing.assert_allclose(
+                batched[name].values,
+                sequential[name].values,
+                atol=1e-9,
+                rtol=0,
+                err_msg=f"{distance_backend}/{name}",
+            )
+
+    def test_property_random_graphs(self):
+        """Property sweep: shapes × seeds, per-world values within 1e-9."""
+        rng = np.random.default_rng(17)
+        for trial in range(5):
+            n = int(rng.integers(5, 35))
+            pairs = int(rng.integers(4, max(5, n * 2)))
+            ug = random_uncertain(n, pairs, seed=100 + trial)
+            seed = int(rng.integers(0, 2**31))
+            sequential, batched = _run_pair(
+                ug, distance_backend="anf", worlds=6, seed=seed, chunk_size=4
+            )
+            for name in PAPER_STATISTIC_NAMES:
+                np.testing.assert_allclose(
+                    batched[name].values,
+                    sequential[name].values,
+                    atol=1e-9,
+                    rtol=0,
+                    err_msg=f"trial {trial}: {name}",
+                )
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 100])
+    def test_chunking_does_not_change_results(self, denser_uncertain, chunk_size):
+        _, reference = _run_pair(
+            denser_uncertain, distance_backend="anf", worlds=7, seed=0
+        )
+        _, chunked = _run_pair(
+            denser_uncertain,
+            distance_backend="anf",
+            worlds=7,
+            seed=0,
+            chunk_size=chunk_size,
+        )
+        for name in PAPER_STATISTIC_NAMES:
+            np.testing.assert_array_equal(
+                chunked[name].values, reference[name].values
+            )
+
+
+class TestBatchedEstimator:
+    def test_default_statistics_are_paper_family(self, denser_uncertain):
+        est = BatchedWorldStatisticsEstimator(denser_uncertain)
+        out = est.run(worlds=3, seed=0)
+        assert set(out) == set(PAPER_STATISTIC_NAMES)
+
+    def test_unknown_statistic_falls_back_to_callable(self, denser_uncertain):
+        est = BatchedWorldStatisticsEstimator(
+            denser_uncertain, {"S_NE": num_edges, "halved": lambda g: g.num_edges / 2}
+        )
+        out = est.run(worlds=5, seed=1)
+        np.testing.assert_allclose(out["halved"].values, out["S_NE"].values / 2)
+
+    def test_collect_worlds(self, denser_uncertain):
+        est = BatchedWorldStatisticsEstimator(denser_uncertain, chunk_size=2)
+        est.run(worlds=5, seed=0, collect_worlds=True)
+        assert len(est.last_worlds) == 5
+        counts = [g.num_edges for g in est.last_worlds]
+        out = est.run(worlds=5, seed=0)
+        np.testing.assert_array_equal(counts, out["S_NE"].values)
+
+    def test_zero_worlds_rejected(self, denser_uncertain):
+        with pytest.raises(ValueError):
+            BatchedWorldStatisticsEstimator(denser_uncertain).run(worlds=0)
+
+    def test_bad_chunk_size_rejected(self, denser_uncertain):
+        with pytest.raises(ValueError):
+            BatchedWorldStatisticsEstimator(denser_uncertain, chunk_size=0)
+
+    def test_bad_backend_rejected(self, denser_uncertain):
+        with pytest.raises(ValueError):
+            BatchedWorldStatisticsEstimator(
+                denser_uncertain, distance_backend="bogus"
+            )
+
+    def test_batched_names_cover_paper_family(self):
+        assert BATCHED_STATISTIC_NAMES == frozenset(PAPER_STATISTIC_NAMES)
+
+    def test_family_option_conflict_rejected(self, denser_uncertain):
+        """Silently diverging from the family's configuration is an error."""
+        family = paper_statistics(distance_backend="anf", seed=0)
+        with pytest.raises(ValueError, match="conflicts"):
+            BatchedWorldStatisticsEstimator(
+                denser_uncertain, family, distance_backend="exact"
+            )
+        with pytest.raises(ValueError, match="conflicts"):
+            BatchedWorldStatisticsEstimator(denser_uncertain, family, distance_seed=1)
+
+    def test_family_config_adopted(self, denser_uncertain):
+        """A sampled-backend family runs its own sample_size, no options needed."""
+        family = paper_statistics(distance_backend="sampled", sample_size=16, seed=3)
+        sequential = WorldStatisticsEstimator(denser_uncertain, family).run(
+            worlds=5, seed=2
+        )
+        batched = BatchedWorldStatisticsEstimator(denser_uncertain, family).run(
+            worlds=5, seed=2
+        )
+        for name in PAPER_STATISTIC_NAMES:
+            np.testing.assert_allclose(
+                batched[name].values, sequential[name].values, atol=1e-9, rtol=0,
+                err_msg=name,
+            )
+
+    def test_plain_mapping_honours_custom_callable_under_paper_name(
+        self, denser_uncertain
+    ):
+        """No kernel substitution for non-family mappings (e.g. transitivity
+        bound to the S_CC name must run as given)."""
+        from repro.graphs.triangles import transitivity
+
+        mapping = {"S_CC": transitivity}
+        sequential = WorldStatisticsEstimator(denser_uncertain, mapping).run(
+            worlds=5, seed=1
+        )
+        batched = BatchedWorldStatisticsEstimator(denser_uncertain, mapping).run(
+            worlds=5, seed=1
+        )
+        np.testing.assert_allclose(
+            batched["S_CC"].values, sequential["S_CC"].values, atol=1e-12, rtol=0
+        )
+
+
+class TestFrontendWiring:
+    def test_backend_selection(self, denser_uncertain):
+        stats = paper_statistics(distance_backend="anf", seed=2)
+        seq = WorldStatisticsEstimator(denser_uncertain, stats)
+        bat = WorldStatisticsEstimator(
+            denser_uncertain,
+            stats,
+            backend="batched",
+            distance_backend="anf",
+            distance_seed=2,
+        )
+        a = seq.run(worlds=6, seed=8)
+        b = bat.run(worlds=6, seed=8)
+        for name in PAPER_STATISTIC_NAMES:
+            np.testing.assert_allclose(
+                b[name].values, a[name].values, atol=1e-9, rtol=0
+            )
+
+    def test_collect_worlds_via_frontend(self, denser_uncertain):
+        est = WorldStatisticsEstimator(
+            denser_uncertain, {"S_NE": num_edges}, backend="batched"
+        )
+        est.run(worlds=4, seed=0, collect_worlds=True)
+        assert len(est.last_worlds) == 4
+
+    def test_unknown_backend_rejected(self, denser_uncertain):
+        with pytest.raises(ValueError, match="backend"):
+            WorldStatisticsEstimator(
+                denser_uncertain, {"S_NE": num_edges}, backend="turbo"
+            )
+
+    def test_options_require_batched(self, denser_uncertain):
+        with pytest.raises(ValueError, match="batched"):
+            WorldStatisticsEstimator(
+                denser_uncertain, {"S_NE": num_edges}, chunk_size=4
+            )

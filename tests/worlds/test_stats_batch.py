@@ -1,0 +1,112 @@
+"""Batched degree/triangle kernels vs the sequential statistic callables."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.triangles import clustering_coefficient, triangle_count
+from repro.stats.degree import (
+    average_degree,
+    degree_variance,
+    max_degree,
+    num_edges,
+    powerlaw_exponent,
+)
+from repro.uncertain.graph import UncertainGraph
+from repro.worlds import (
+    WorldBatch,
+    clustering_coefficients_batch,
+    degree_matrix,
+    degree_statistics_batch,
+    triangle_counts_batch,
+)
+
+SEQUENTIAL = {
+    "S_NE": num_edges,
+    "S_AD": average_degree,
+    "S_MD": max_degree,
+    "S_DV": degree_variance,
+    "S_PL": powerlaw_exponent,
+}
+
+
+@pytest.fixture
+def batch(denser_uncertain):
+    return WorldBatch.sample(denser_uncertain, 12, seed=5)
+
+
+class TestDegreeMatrix:
+    def test_matches_per_world_degrees(self, batch):
+        degrees = degree_matrix(batch)
+        for w, g in enumerate(batch.graphs()):
+            np.testing.assert_array_equal(degrees[w], g.degrees())
+
+    def test_empty_batch(self, denser_uncertain):
+        batch = WorldBatch.sample(denser_uncertain, 0, seed=0)
+        assert degree_matrix(batch).shape == (0, denser_uncertain.num_vertices)
+
+
+class TestDegreeFamily:
+    def test_matches_registry_callables(self, batch):
+        """Satellite acceptance: batched values ≤1e-9 from the callables."""
+        out = degree_statistics_batch(batch)
+        for name, func in SEQUENTIAL.items():
+            expected = [float(func(g)) for g in batch.graphs()]
+            np.testing.assert_allclose(
+                out[name], expected, atol=1e-9, rtol=0, err_msg=name
+            )
+
+    def test_powerlaw_d_min_forwarded(self, batch):
+        out = degree_statistics_batch(batch, powerlaw_d_min=3)
+        expected = [float(powerlaw_exponent(g, d_min=3)) for g in batch.graphs()]
+        np.testing.assert_allclose(out["S_PL"], expected, atol=1e-9, rtol=0)
+
+    def test_no_edges(self):
+        ug = UncertainGraph(5)
+        batch = WorldBatch.sample(ug, 3, seed=0)
+        out = degree_statistics_batch(batch)
+        for name in SEQUENTIAL:
+            np.testing.assert_array_equal(out[name], np.zeros(3))
+
+
+class TestTriangles:
+    def test_matches_sequential_counter(self, batch):
+        counts = triangle_counts_batch(batch)
+        expected = [triangle_count(g) for g in batch.graphs()]
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_chunking_invariant(self, batch):
+        """A pathologically small wedge budget must not change counts."""
+        full = triangle_counts_batch(batch)
+        tiny = triangle_counts_batch(batch, wedge_budget=17)
+        np.testing.assert_array_equal(full, tiny)
+
+    def test_triangle_free(self):
+        ug = UncertainGraph.from_pairs(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        batch = WorldBatch.sample(ug, 2, seed=0)
+        np.testing.assert_array_equal(triangle_counts_batch(batch), [0, 0])
+
+    def test_certain_triangle(self):
+        ug = UncertainGraph.from_pairs(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]
+        )
+        batch = WorldBatch.sample(ug, 3, seed=0)
+        np.testing.assert_array_equal(triangle_counts_batch(batch), [1, 1, 1])
+
+
+class TestClustering:
+    def test_matches_sequential(self, batch):
+        cc = clustering_coefficients_batch(batch)
+        expected = [clustering_coefficient(g) for g in batch.graphs()]
+        np.testing.assert_allclose(cc, expected, atol=1e-9, rtol=0)
+
+    def test_k3_is_one(self):
+        ug = UncertainGraph.from_pairs(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]
+        )
+        batch = WorldBatch.sample(ug, 1, seed=0)
+        np.testing.assert_allclose(clustering_coefficients_batch(batch), [1.0])
+
+    def test_wedge_only_is_zero(self):
+        ug = UncertainGraph.from_pairs(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        batch = WorldBatch.sample(ug, 1, seed=0)
+        np.testing.assert_allclose(clustering_coefficients_batch(batch), [0.0])
