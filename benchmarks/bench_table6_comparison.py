@@ -12,17 +12,178 @@ Reproduction target: at matched anonymity, the uncertain-graph release
 always has (much) lower average relative error than the whole-edge
 randomization — the paper's driving claim.
 
-This benchmark runs the calibrated protocol: for each matchup the
-baseline's p is chosen (from the paper's grid) as the smallest value
-whose release reaches the obfuscation cell's (k, ε) anonymity.
+``test_table6_comparison`` runs the calibrated protocol: for each
+matchup the baseline's p is chosen (from the paper's grid) as the
+smallest value whose release reaches the obfuscation cell's (k, ε)
+anonymity.  The baseline side runs on ``config.baseline_backend``
+(batched by default since the ``repro.worlds.releases`` engine).
+
+``test_table6_baseline_equivalence`` and
+``test_table6_baseline_speedup`` pin the batched engine itself:
+equal seeds must give *identical* releases in both backends (rows
+within 1e-9) and the batched path must be ≥4× faster end-to-end over
+the paper's 50 releases on the dblp surrogate.  Timings land in
+``benchmarks/results/table6_speedup.csv``.
+
+Environment knobs:
+
+``REPRO_BENCH_TABLE6_SCALE``    dblp surrogate size for the
+                                equivalence/speedup tests (default 1.0,
+                                n ≈ 4500; CI smoke uses 0.1)
+``REPRO_BENCH_TABLE6_SAMPLES``  releases per scheme (default 50, the
+                                paper's count)
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_table6_comparison.py -s
 """
 
 from __future__ import annotations
 
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
 from conftest import emit
 
-from repro.experiments.comparison import table6_rows
+from repro.experiments.comparison import (
+    achieved_k,
+    baseline_utility_row,
+    calibrate_randomization,
+    table6_rows,
+)
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_table
+from repro.graphs.datasets import dblp_like
+from repro.stats.registry import PAPER_STATISTIC_NAMES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TABLE6_SCALE = float(os.environ.get("REPRO_BENCH_TABLE6_SCALE", 1.0))
+TABLE6_SAMPLES = int(os.environ.get("REPRO_BENCH_TABLE6_SAMPLES", 50))
+SEED = 0
+
+#: The paper's hand-picked (scheme, p) pairs for the dblp matchups.
+SCHEME_PS = (("sparsification", 0.64), ("perturbation", 0.32))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    """The dblp surrogate (n ≈ 4500 at the default scale)."""
+    return dblp_like(scale=TABLE6_SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def original_stats(graph):
+    """The original graph's statistics, shared as ``table6_rows`` shares them."""
+    from repro.stats.registry import paper_statistics
+
+    stats = paper_statistics(distance_backend="anf", seed=SEED)
+    return {name: float(func(graph)) for name, func in stats.items()}
+
+
+def _configs() -> tuple[ExperimentConfig, ExperimentConfig]:
+    batched = ExperimentConfig(
+        baseline_samples=TABLE6_SAMPLES,
+        seed=SEED,
+        baseline_backend="batched",
+    )
+    return batched, replace(batched, baseline_backend="sequential")
+
+
+def _assert_rows_match(batched_row: dict, sequential_row: dict) -> None:
+    for key, value in batched_row.items():
+        if isinstance(value, str):
+            assert sequential_row[key] == value, key
+        else:
+            np.testing.assert_allclose(
+                value, sequential_row[key], atol=1e-9, rtol=0, err_msg=key
+            )
+
+
+def test_table6_baseline_equivalence(graph, original_stats):
+    """Same seed ⇒ same releases ⇒ same rows, calibration and anonymity."""
+    cfg_batched, cfg_sequential = _configs()
+    for scheme, p in SCHEME_PS:
+        _assert_rows_match(
+            baseline_utility_row(graph, scheme, p, cfg_batched, original=original_stats),
+            baseline_utility_row(graph, scheme, p, cfg_sequential, original=original_stats),
+        )
+        assert achieved_k(
+            graph, scheme, p, 0.05, releases=2, seed=SEED, backend="batched"
+        ) == achieved_k(
+            graph, scheme, p, 0.05, releases=2, seed=SEED, backend="sequential"
+        ), scheme
+    a, b = (
+        calibrate_randomization(
+            graph, "sparsification", 3, 0.05, p_grid=(0.04, 0.32), releases=2,
+            seed=SEED, backend=backend,
+        )
+        for backend in ("batched", "sequential")
+    )
+    assert (np.isnan(a) and np.isnan(b)) or a == b
+
+
+def test_table6_baseline_speedup(graph, original_stats):
+    """The ≥4× end-to-end claim over the paper's 50 releases per scheme.
+
+    The original graph's statistics are computed once and shared, exactly
+    as ``table6_rows`` shares them across a dataset's rows, so the timing
+    isolates the release sampling + evaluation the backends differ on.
+    """
+    cfg_batched, cfg_sequential = _configs()
+
+    t0 = time.perf_counter()
+    sequential_rows = [
+        baseline_utility_row(
+            graph, scheme, p, cfg_sequential, original=original_stats
+        )
+        for scheme, p in SCHEME_PS
+    ]
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched_rows = [
+        baseline_utility_row(
+            graph, scheme, p, cfg_batched, original=original_stats
+        )
+        for scheme, p in SCHEME_PS
+    ]
+    t_bat = time.perf_counter() - t0
+
+    for batched_row, sequential_row in zip(batched_rows, sequential_rows):
+        _assert_rows_match(batched_row, sequential_row)
+        assert all(name in batched_row for name in PAPER_STATISTIC_NAMES)
+
+    speedup = t_seq / t_bat
+    rows = [
+        {
+            "backend": backend,
+            "schemes": "+".join(s for s, _ in SCHEME_PS),
+            "releases_per_scheme": TABLE6_SAMPLES,
+            "scale": TABLE6_SCALE,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "seconds": round(seconds, 4),
+            "ms_per_release": round(
+                1000 * seconds / (len(SCHEME_PS) * TABLE6_SAMPLES), 3
+            ),
+            "speedup": round(t_seq / seconds, 2),
+        }
+        for backend, seconds in (("sequential", t_seq), ("batched", t_bat))
+    ]
+    from repro.experiments.report import save_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_csv(rows, RESULTS_DIR / "table6_speedup.csv")
+    print(
+        f"\nTable-6 baselines over {TABLE6_SAMPLES} releases x "
+        f"{len(SCHEME_PS)} schemes (scale={TABLE6_SCALE}): sequential "
+        f"{t_seq:.2f}s, batched {t_bat:.2f}s — {speedup:.1f}x"
+    )
+    assert speedup >= 4.0, f"expected >=4x end-to-end, measured {speedup:.2f}x"
 
 
 def test_table6_comparison(benchmark, cache, config):

@@ -148,9 +148,28 @@ def randomization_anonymity_levels(
     numpy.ndarray
         ``levels[v] = 2^{H(Y_{d(v)})}`` for every vertex of G.
     """
+    return randomization_anonymity_levels_from_observed(
+        original, published.degrees(), scheme, p
+    )
+
+
+def randomization_anonymity_levels_from_observed(
+    original: Graph,
+    observed: np.ndarray,
+    scheme: str,
+    p: float,
+) -> np.ndarray:
+    """:func:`randomization_anonymity_levels` from an observed degree sequence.
+
+    The release enters the entropy computation only through its degree
+    sequence, so callers that already hold one — notably the batched
+    Table-6 engine, whose :func:`repro.worlds.stats_batch.degree_matrix`
+    yields every release's degrees in one pass — can skip materialising
+    the published :class:`Graph` entirely.
+    """
     check_probability(p, "p")
     n = original.num_vertices
-    observed = published.degrees()
+    observed = np.asarray(observed)
     max_observed = int(observed.max(initial=0))
     observed_counts = np.bincount(observed, minlength=max_observed + 1).astype(
         np.float64

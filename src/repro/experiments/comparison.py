@@ -14,25 +14,70 @@ The paper's comparative protocol (§7.3):
 :func:`calibrate_randomization` automates step 1 with a monotone scan
 over a ``p`` grid (the paper hand-picked from the same {0.04, 0.32,
 0.64} family).
+
+Backends: every release-sampling step runs on one of two seed-equivalent
+engines.  ``"batched"`` (the default) draws all releases of a scheme
+through :func:`repro.worlds.releases.sample_releases` and evaluates the
+ten statistics with the multi-world kernels of :mod:`repro.worlds` —
+the engine behind the minutes-scale full Table-6 sweep.
+``"sequential"`` is the pinned ground truth: one release at a time, one
+``Graph → float`` callable per statistic.  Both consume the identical
+RNG stream, so equal seeds give identical releases (edge-for-edge) and
+table rows that agree to ≤1e-9 (pinned by
+``tests/experiments/test_comparison_batched.py``).
+
+Per-scheme RNG streams are derived from ``zlib.crc32`` of the scheme
+name — a stable constant, unlike ``hash()``, which varies with
+``PYTHONHASHSEED`` across interpreter runs.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
 from repro.baselines.anonymity import (
     original_anonymity_levels,
-    randomization_anonymity_levels,
+    randomization_anonymity_levels_from_observed,
 )
 from repro.baselines.randomization import random_perturbation, random_sparsification
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import SweepEntry, evaluate_utility
+from repro.experiments.harness import (
+    SweepEntry,
+    _original_statistics,
+    evaluate_utility,
+)
 from repro.graphs.graph import Graph
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.utils.rng import as_rng
+from repro.worlds.estimator import BatchStatisticsEngine
+from repro.worlds.releases import sample_releases
+from repro.worlds.stats_batch import degree_matrix
 
 #: Default calibration grid, containing the paper's hand-picked values.
 DEFAULT_P_GRID: tuple[float, ...] = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.9)
+
+#: Release-sampling engines accepted by every function below.
+BASELINE_BACKENDS = ("batched", "sequential")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BASELINE_BACKENDS:
+        raise ValueError(
+            f"unknown baseline backend {backend!r}; use batched/sequential"
+        )
+    return backend
+
+
+def scheme_stream(seed, scheme: str) -> np.random.Generator:
+    """Per-scheme child RNG: root seed + a *stable* scheme constant.
+
+    ``zlib.crc32`` is deterministic across interpreter runs, unlike
+    ``hash()`` whose value depends on ``PYTHONHASHSEED`` — the latter
+    made Table-6 baseline rows irreproducible across processes.
+    """
+    return as_rng((seed, zlib.crc32(scheme.encode())))
 
 
 def _sample_release(graph: Graph, scheme: str, p: float, rng) -> Graph:
@@ -44,20 +89,46 @@ def _sample_release(graph: Graph, scheme: str, p: float, rng) -> Graph:
 
 
 def achieved_k(
-    graph: Graph, scheme: str, p: float, eps: float, *, releases: int = 3, seed=None
+    graph: Graph,
+    scheme: str,
+    p: float,
+    eps: float,
+    *,
+    releases: int = 3,
+    seed=None,
+    backend: str = "batched",
 ) -> float:
     """Anonymity level a randomized scheme reaches at tolerance ε.
 
     Averages over ``releases`` sampled releases the quantity "least
-    anonymity after disregarding the ⌊ε·n⌋ least-anonymous vertices".
+    anonymity after disregarding the ⌊ε·n⌋ least-anonymous vertices"
+    (the skip index is clamped to the last vertex when ``ε·n ≥ n``).
+
+    With ``backend="batched"`` all releases are drawn in one
+    :func:`~repro.worlds.releases.sample_releases` pass and their degree
+    sequences come from one :func:`~repro.worlds.stats_batch.degree_matrix`
+    bincount — no per-release :class:`Graph` is materialised.  Values are
+    identical to the sequential path (same stream → same releases → same
+    entropy arithmetic).
     """
+    _check_backend(backend)
     rng = as_rng(seed)
     n = graph.num_vertices
     skip = int(np.floor(eps * n))
+    if backend == "batched":
+        observed_rows = degree_matrix(
+            sample_releases(graph, scheme, p, releases, seed=rng)
+        )
+    else:  # lazy: sampling stays interleaved with the entropy passes
+        observed_rows = (
+            _sample_release(graph, scheme, p, rng).degrees()
+            for _ in range(releases)
+        )
     values = []
-    for _ in range(releases):
-        published = _sample_release(graph, scheme, p, rng)
-        levels = np.sort(randomization_anonymity_levels(graph, published, scheme, p))
+    for observed in observed_rows:
+        levels = np.sort(
+            randomization_anonymity_levels_from_observed(graph, observed, scheme, p)
+        )
         values.append(levels[min(skip, n - 1)])
     return float(np.mean(values))
 
@@ -71,6 +142,7 @@ def calibrate_randomization(
     p_grid: tuple[float, ...] = DEFAULT_P_GRID,
     releases: int = 3,
     seed=None,
+    backend: str = "batched",
 ) -> float:
     """Smallest grid ``p`` whose release achieves anonymity ≥ k at tolerance ε.
 
@@ -78,9 +150,15 @@ def calibrate_randomization(
     Hay-et-al. regime where randomization cannot reach the target
     without destroying the graph).
     """
+    _check_backend(backend)
     rng = as_rng(seed)
     for p in p_grid:
-        if achieved_k(graph, scheme, p, eps, releases=releases, seed=rng) >= k:
+        if (
+            achieved_k(
+                graph, scheme, p, eps, releases=releases, seed=rng, backend=backend
+            )
+            >= k
+        ):
             return p
     return float("nan")
 
@@ -92,22 +170,46 @@ def baseline_utility_row(
     config: ExperimentConfig,
     *,
     label: str | None = None,
+    original: dict[str, float] | None = None,
 ) -> dict:
-    """Mean statistics over sampled releases + avg relative error vs original."""
+    """Mean statistics over sampled releases + avg relative error vs original.
+
+    ``config.baseline_backend`` selects the engine: ``"batched"`` draws
+    all ``config.baseline_samples`` releases as one
+    :class:`~repro.worlds.batch.WorldBatch` and evaluates the ten paper
+    statistics through the multi-world kernels; ``"sequential"``
+    measures one materialised release at a time.  Same seed ⇒ same
+    releases ⇒ rows agreeing to ≤1e-9.
+
+    ``original`` lets callers that emit several rows for one dataset
+    (``table6_rows``) reuse the original graph's statistics instead of
+    recomputing an ANF/BFS pass per row.
+    """
+    backend = _check_backend(config.baseline_backend)
     stats = paper_statistics(
         distance_backend=config.distance_backend, seed=config.seed
     )
-    original = {name: float(func(graph)) for name, func in stats.items()}
-    rng = as_rng((config.seed, hash(scheme) & 0xFFFF))
-    sums = {name: [] for name in PAPER_STATISTIC_NAMES}
-    for _ in range(config.baseline_samples):
-        released = _sample_release(graph, scheme, p, rng)
-        for name, func in stats.items():
-            sums[name].append(float(func(released)))
+    if original is None:
+        original = {name: float(func(graph)) for name, func in stats.items()}
+    rng = scheme_stream(config.seed, scheme)
+    if backend == "batched":
+        batch = sample_releases(
+            graph, scheme, p, config.baseline_samples, seed=rng
+        )
+        values, _ = BatchStatisticsEngine(stats).evaluate(
+            batch, list(PAPER_STATISTIC_NAMES)
+        )
+    else:
+        sums = {name: [] for name in PAPER_STATISTIC_NAMES}
+        for _ in range(config.baseline_samples):
+            released = _sample_release(graph, scheme, p, rng)
+            for name, func in stats.items():
+                sums[name].append(float(func(released)))
+        values = {name: np.asarray(sums[name]) for name in PAPER_STATISTIC_NAMES}
     row: dict = {"variant": label or f"{scheme} p={p}"}
     rel = []
     for name in PAPER_STATISTIC_NAMES:
-        mean = float(np.mean(sums[name]))
+        mean = float(np.mean(values[name]))
         row[name] = mean
         ref = original[name]
         rel.append(abs(mean - ref) / abs(ref) if ref != 0 else float(mean != ref))
@@ -116,14 +218,15 @@ def baseline_utility_row(
 
 
 def obfuscation_utility_row(
-    entry: SweepEntry, config: ExperimentConfig, *, label: str | None = None
+    entry: SweepEntry,
+    config: ExperimentConfig,
+    *,
+    label: str | None = None,
+    original: dict[str, float] | None = None,
 ) -> dict:
     """Table-6 row for the uncertain-graph method at one sweep cell."""
-    graph = entry.graph
-    stats = paper_statistics(
-        distance_backend=config.distance_backend, seed=config.seed
-    )
-    original = {name: float(func(graph)) for name, func in stats.items()}
+    if original is None:
+        original = _original_statistics(entry.graph, config)
     summaries = evaluate_utility(entry, config)
     row: dict = {
         "variant": label or f"obf. (k={entry.k}, eps={entry.paper_eps:g})"
@@ -138,13 +241,17 @@ def obfuscation_utility_row(
     return row
 
 
-def original_row(graph: Graph, config: ExperimentConfig) -> dict:
+def original_row(
+    graph: Graph,
+    config: ExperimentConfig,
+    *,
+    original: dict[str, float] | None = None,
+) -> dict:
     """The "original" reference row of Table 6."""
-    stats = paper_statistics(
-        distance_backend=config.distance_backend, seed=config.seed
-    )
+    if original is None:
+        original = _original_statistics(graph, config)
     row: dict = {"variant": "original"}
-    row.update({name: float(func(graph)) for name, func in stats.items()})
+    row.update(original)
     row["rel_err"] = 0.0
     return row
 
@@ -161,7 +268,8 @@ def table6_rows(
     ``paper_eps`` (the obfuscation cell to match) and optionally a fixed
     ``p``; when ``p`` is absent it is calibrated.  The default matchups
     are the paper's §7.3 cases, restricted to datasets present in the
-    sweep.
+    sweep.  Baseline sampling and calibration run on
+    ``config.baseline_backend``.
     """
     if matchups is None:
         # The paper's §7.3 cases, with one adaptation: its dblp
@@ -184,18 +292,21 @@ def table6_rows(
         ]
     by_cell = {(e.dataset, e.k, e.paper_eps): e for e in sweep}
     rows: list[dict] = []
-    seen_datasets: set[str] = set()
+    # The original graph's ten statistics anchor every row of a dataset;
+    # compute them once per dataset, not once per row (the ANF pass on
+    # the original graph is as costly as evaluating several releases).
+    originals: dict[str, dict[str, float]] = {}
     for match in matchups:
         dataset = match["dataset"]
         cell = by_cell.get((dataset, match["k"], match["paper_eps"]))
         if cell is None or not cell.result.success:
             continue
         graph = cell.graph
-        if dataset not in seen_datasets:
-            row = original_row(graph, config)
+        if dataset not in originals:
+            originals[dataset] = _original_statistics(graph, config)
+            row = original_row(graph, config, original=originals[dataset])
             row["dataset"] = dataset
             rows.append(row)
-            seen_datasets.add(dataset)
         p = match.get("p")
         if p is None:
             p = calibrate_randomization(
@@ -204,6 +315,7 @@ def table6_rows(
                 match["k"],
                 cell.eps_used,
                 seed=(config.seed, 17),
+                backend=config.baseline_backend,
             )
         if not np.isnan(p):
             row = baseline_utility_row(
@@ -212,10 +324,11 @@ def table6_rows(
                 p,
                 config,
                 label=f"rand.{match['scheme'][:5]}. (p={p:g})",
+                original=originals[dataset],
             )
             row["dataset"] = dataset
             rows.append(row)
-        row = obfuscation_utility_row(cell, config)
+        row = obfuscation_utility_row(cell, config, original=originals[dataset])
         row["dataset"] = dataset
         rows.append(row)
     return rows

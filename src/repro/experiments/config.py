@@ -77,6 +77,14 @@ class ExperimentConfig:
         the :mod:`repro.worlds` multi-world kernels) or
         ``"sequential"`` (the one-world-at-a-time ground-truth path).
         Both are seed-equivalent: same worlds, same table values.
+    baseline_backend:
+        Release-sampling engine for the Table-6 baselines:
+        ``"batched"`` (default — randomization releases drawn as one
+        :class:`~repro.worlds.batch.WorldBatch` via
+        :mod:`repro.worlds.releases` and measured by the multi-world
+        kernels) or ``"sequential"`` (one release at a time, the pinned
+        ground truth).  Both consume the identical RNG stream: same
+        releases edge-for-edge, rows within 1e-9.
     """
 
     datasets: tuple[str, ...] = ("dblp", "flickr", "y360")
@@ -93,6 +101,7 @@ class ExperimentConfig:
     seed: int = 0
     distance_backend: str = "anf"
     world_backend: str = "batched"
+    baseline_backend: str = "batched"
     dataset_seed: int = 0
     _graph_cache: dict = field(default_factory=dict, compare=False, hash=False)
 

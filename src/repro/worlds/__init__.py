@@ -25,9 +25,17 @@ Four layers, each consuming the previous one's flat-array output::
                     degree-grouped segmented max over a change frontier,
                     per-world fixed-point convergence; yields the four
                     distance statistics.
-    estimator.py    BatchedWorldStatisticsEstimator — chunked, streaming
-                    drop-in backend for WorldStatisticsEstimator with
-                    bounded memory and name-based kernel dispatch.
+    estimator.py    BatchStatisticsEngine — name-based kernel dispatch
+                    turning any WorldBatch into per-world statistic
+                    vectors — and BatchedWorldStatisticsEstimator, the
+                    chunked, streaming drop-in backend for
+                    WorldStatisticsEstimator with bounded memory.
+    releases.py     sample_releases — Table-6 randomization baselines
+                    (sparsification / perturbation) drawn as one
+                    WorldBatch per scheme: a release scheme is a
+                    distribution over possible worlds, so the same
+                    kernels that evaluate obfuscation worlds evaluate
+                    baseline releases.
 
 Determinism contract: a batch consumes the RNG stream exactly as the
 sequential sampler would (NumPy fills ``(W, m)`` uniforms in C order),
@@ -41,7 +49,9 @@ from repro.worlds.batch import WorldBatch
 from repro.worlds.estimator import (
     BATCHED_STATISTIC_NAMES,
     BatchedWorldStatisticsEstimator,
+    BatchStatisticsEngine,
 )
+from repro.worlds.releases import RELEASE_SCHEMES, sample_releases
 from repro.worlds.stats_batch import (
     clustering_coefficients_batch,
     degree_matrix,
@@ -52,7 +62,10 @@ from repro.worlds.stats_batch import (
 __all__ = [
     "WorldBatch",
     "BatchedWorldStatisticsEstimator",
+    "BatchStatisticsEngine",
     "BATCHED_STATISTIC_NAMES",
+    "RELEASE_SCHEMES",
+    "sample_releases",
     "degree_matrix",
     "degree_statistics_batch",
     "triangle_counts_batch",

@@ -29,6 +29,31 @@ from repro.uncertain.graph import UncertainGraph
 from repro.utils.rng import as_rng
 
 
+def draw_packed_keep_bits(rng, worlds: int, m: int, predicate) -> np.ndarray:
+    """``(W, ⌈m/8⌉)`` packed keep bits from a row-grouped uniform draw.
+
+    ``predicate`` maps each ``(count, m)`` uniform block to its boolean
+    keep block (e.g. ``u < ps`` for world sampling, ``u >= p`` for the
+    sparsification release engine).  Row groups bound the float64
+    uniform transient; C-order row fill means any grouping consumes the
+    identical RNG stream, which is what keeps every batch sampler
+    seed-equivalent to its sequential counterpart.
+    """
+    rows_per_draw = max(1, (8 << 20) // max(m, 1))
+    parts = []
+    for lo in range(0, worlds, rows_per_draw):
+        count = min(rows_per_draw, worlds - lo)
+        keep = predicate(rng.random((count, m)))
+        parts.append(
+            np.packbits(keep, axis=1)
+            if keep.size
+            else np.zeros((count, 0), dtype=np.uint8)
+        )
+    if not parts:
+        return np.zeros((0, (m + 7) // 8), dtype=np.uint8)
+    return np.concatenate(parts, axis=0)
+
+
 class WorldBatch:
     """``W`` possible worlds of one uncertain graph, held as packed bits.
 
@@ -97,23 +122,8 @@ class WorldBatch:
             raise ValueError(f"number of worlds must be non-negative, got {worlds}")
         us, vs, ps = uncertain.pair_arrays()
         rng = as_rng(seed)
-        # Draw in row groups so the float64 uniform transient stays
-        # bounded (the stored batch is the packed bits); C-order row
-        # fill means any grouping consumes the identical RNG stream.
-        rows_per_draw = max(1, (8 << 20) // max(len(ps), 1))
-        packed_parts = []
-        for lo in range(0, worlds, rows_per_draw):
-            count = min(rows_per_draw, worlds - lo)
-            keep = rng.random((count, len(ps))) < ps
-            packed_parts.append(
-                np.packbits(keep, axis=1)
-                if keep.size
-                else np.zeros((count, 0), dtype=np.uint8)
-            )
-        packed = (
-            np.concatenate(packed_parts, axis=0)
-            if packed_parts
-            else np.zeros((0, (len(ps) + 7) // 8), dtype=np.uint8)
+        packed = draw_packed_keep_bits(
+            rng, worlds, len(ps), lambda uniforms: uniforms < ps
         )
         return cls(uncertain.num_vertices, us, vs, packed, len(ps))
 
@@ -232,6 +242,24 @@ class WorldBatch:
             np.cumsum(counts, out=indptr[1:])
             self._csr = (indptr, tails[order])
         return self._csr
+
+    def slice(self, lo: int, hi: int) -> "WorldBatch":
+        """Worlds ``lo:hi`` as a new batch sharing the candidate arrays.
+
+        A cheap packed-row slice (no unpack/repack); the sub-batch's
+        world ``w`` is this batch's world ``lo + w``.  Evaluation
+        kernels applied per slice produce exactly the values they would
+        inside the full batch (worlds never interact), which is what
+        lets the estimator bound its working set to a cache-friendly
+        number of worlds.
+        """
+        if not 0 <= lo <= hi <= self._num_worlds:
+            raise IndexError(
+                f"slice [{lo}, {hi}) out of range [0, {self._num_worlds}]"
+            )
+        return WorldBatch(
+            self._n, self._us, self._vs, self._packed[lo:hi], self._num_pairs
+        )
 
     # ------------------------------------------------------------------
     # materialisation

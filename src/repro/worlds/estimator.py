@@ -1,13 +1,20 @@
-"""Chunked, streaming Table-4/5 estimation over batched possible worlds.
+"""Chunked, streaming Table-4/5/6 estimation over batched possible worlds.
 
-:class:`BatchedWorldStatisticsEstimator` is the drop-in backend behind
-``WorldStatisticsEstimator(..., backend="batched")``: same ``run``
-signature, same :class:`~repro.stats.sampling.SampleSummary` outputs,
-same RNG stream — but worlds are drawn and evaluated a chunk at a time
-through the vectorised kernels of :mod:`repro.worlds.stats_batch` and
-:mod:`repro.worlds.anf_batch`, so memory stays bounded by the chunk
-size while the arithmetic stays identical to the sequential
-world-by-world loop (equivalence pinned at ≤1e-9 by tests).
+Two layers live here:
+
+* :class:`BatchStatisticsEngine` — the batch-to-values core: given any
+  :class:`~repro.worlds.batch.WorldBatch` (sampled from an uncertain
+  graph *or* built from randomized baseline releases by
+  :mod:`repro.worlds.releases`), produce per-world values of a statistic
+  family through the vectorised kernels of
+  :mod:`repro.worlds.stats_batch` and :mod:`repro.worlds.anf_batch`.
+* :class:`BatchedWorldStatisticsEstimator` — the drop-in backend behind
+  ``WorldStatisticsEstimator(..., backend="batched")``: same ``run``
+  signature, same :class:`~repro.stats.sampling.SampleSummary` outputs,
+  same RNG stream — but worlds are drawn and evaluated a chunk at a time
+  through the engine, so memory stays bounded by the chunk size while
+  the arithmetic stays identical to the sequential world-by-world loop
+  (equivalence pinned at ≤1e-9 by tests).
 
 Dispatch: when the statistics mapping is the registry's
 :class:`~repro.stats.registry.StatisticFamily` (or ``None``, which
@@ -61,14 +68,14 @@ BATCHED_STATISTIC_NAMES = frozenset(
     DEGREE_STATISTIC_NAMES + DISTANCE_STATISTIC_NAMES + ("S_CC",)
 )
 
+_UNSET = object()
 
-class BatchedWorldStatisticsEstimator:
-    """Evaluate statistics over possible worlds, a batch at a time.
+
+class BatchStatisticsEngine:
+    """Kernel dispatch + per-world evaluation for any :class:`WorldBatch`.
 
     Parameters
     ----------
-    uncertain:
-        The published uncertain graph.
     statistics:
         ``None`` (build the full Table-4 family from the options below),
         a :class:`~repro.stats.registry.StatisticFamily` (paper-family
@@ -87,17 +94,10 @@ class BatchedWorldStatisticsEstimator:
     anf_b:
         HyperLogLog register bits for the ``"anf"`` backend; the
         registry family is pinned to the HyperANF default of 6.
-    chunk_size:
-        Worlds sampled and evaluated per pass — the memory bound.  The
-        RNG stream is consumed identically for every chunking, so
-        results do not depend on this knob.
     """
-
-    _UNSET = object()
 
     def __init__(
         self,
-        uncertain: UncertainGraph,
         statistics: Mapping[str, Callable[[Graph], float]] | None = None,
         *,
         distance_backend=_UNSET,
@@ -105,16 +105,11 @@ class BatchedWorldStatisticsEstimator:
         distance_seed=_UNSET,
         anf_b=_UNSET,
         powerlaw_d_min=_UNSET,
-        chunk_size: int = 32,
     ):
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        unset = BatchedWorldStatisticsEstimator._UNSET
-
         family = statistics if isinstance(statistics, StatisticFamily) else None
 
         def resolve(name: str, explicit, family_value, default):
-            if explicit is unset:
+            if explicit is _UNSET:
                 return family_value if family is not None else default
             if family is not None and explicit != family_value:
                 raise ValueError(
@@ -163,43 +158,67 @@ class BatchedWorldStatisticsEstimator:
         # Plain mappings get no kernel substitution: whatever callables
         # the caller bound — even under paper-family names — run as-is.
         self._use_kernels = family is not None
-        self._uncertain = uncertain
         self._statistics = dict(statistics)
-        self._chunk_size = chunk_size
-        self.last_worlds: list[Graph] = []
+
+    @property
+    def statistics(self) -> dict[str, Callable[[Graph], float]]:
+        """The resolved name → callable mapping (kernel names included)."""
+        return self._statistics
 
     # ------------------------------------------------------------------
-    def run(
-        self, *, worlds: int, seed=None, collect_worlds: bool = False
-    ) -> dict[str, SampleSummary]:
-        """Sample ``worlds`` possible worlds and evaluate every statistic.
+    def evaluate(
+        self,
+        batch: WorldBatch,
+        names: list[str] | None = None,
+        *,
+        collect_worlds: bool = False,
+        chunk_size: int | None = None,
+    ) -> tuple[dict[str, np.ndarray], list[Graph]]:
+        """Per-world values of every requested statistic for one batch.
 
-        Identical contract (and identical per-world values) to
-        :meth:`repro.stats.sampling.WorldStatisticsEstimator.run`.
+        Returns ``(values, graphs)`` where ``values[name]`` is a ``(W,)``
+        float64 vector and ``graphs`` holds the materialised worlds —
+        non-empty only when ``collect_worlds`` is set or a non-kernel
+        statistic forced materialisation anyway.
+
+        Large batches are evaluated in world slices (worlds never
+        interact, so slicing is value-preserving) sized so the ANF
+        register stack stays cache-resident — on big graphs one huge
+        stacked diffusion is memory-bandwidth-bound and measurably
+        slower than a handful of L2-sized ones.  ``chunk_size``
+        overrides the automatic bound; results are identical for every
+        chunking.
         """
-        if worlds < 1:
-            raise ValueError(f"need at least one world, got {worlds}")
-        rng = as_rng(seed)
-        names = list(self._statistics)
-        values = {name: np.empty(worlds, dtype=np.float64) for name in names}
-        self.last_worlds = []
-        done = 0
-        while done < worlds:
-            count = min(self._chunk_size, worlds - done)
-            batch = WorldBatch.sample(self._uncertain, count, seed=rng)
-            chunk = self._evaluate(batch, names, collect_worlds=collect_worlds)
-            for name in names:
-                values[name][done : done + count] = chunk[name]
-            done += count
-        return {
-            name: SampleSummary(name=name, values=values[name]) for name in names
-        }
+        if names is None:
+            names = list(self._statistics)
+        W = batch.num_worlds
+        if chunk_size is None:
+            # keep each slice's (W·n, 2^b) register stack around ~2 MB
+            chunk_size = max(
+                1, (2 << 20) // max(batch.num_vertices << self._anf_b, 1)
+            )
+        if W > chunk_size:
+            values = {name: np.empty(W, dtype=np.float64) for name in names}
+            graphs: list[Graph] = []
+            for lo in range(0, W, chunk_size):
+                sub = batch.slice(lo, min(lo + chunk_size, W))
+                out, sub_graphs = self._evaluate_one(
+                    sub, names, collect_worlds=collect_worlds
+                )
+                for name in names:
+                    values[name][lo : lo + sub.num_worlds] = out[name]
+                graphs.extend(sub_graphs)
+            return values, graphs
+        return self._evaluate_one(batch, names, collect_worlds=collect_worlds)
 
-    # ------------------------------------------------------------------
-    def _evaluate(
-        self, batch: WorldBatch, names: list[str], *, collect_worlds: bool
-    ) -> dict[str, np.ndarray]:
-        """Per-world values of every requested statistic for one batch."""
+    def _evaluate_one(
+        self,
+        batch: WorldBatch,
+        names: list[str],
+        *,
+        collect_worlds: bool,
+    ) -> tuple[dict[str, np.ndarray], list[Graph]]:
+        """One un-sliced evaluation pass (see :meth:`evaluate`)."""
         out: dict[str, np.ndarray] = {}
         kernel_names = BATCHED_STATISTIC_NAMES if self._use_kernels else frozenset()
         degree_names = [n for n in names if n in kernel_names and n in DEGREE_STATISTIC_NAMES]
@@ -232,15 +251,13 @@ class BatchedWorldStatisticsEstimator:
             else:
                 out.update(self._bfs_distance_statistics(batch))
 
-        graphs: list[Graph] | None = None
+        graphs: list[Graph] = []
         if fallback_names or collect_worlds:
             graphs = list(batch.graphs())
-            if collect_worlds:
-                self.last_worlds.extend(graphs)
         for name in fallback_names:
             func = self._statistics[name]
             out[name] = np.array([float(func(g)) for g in graphs])
-        return {name: out[name] for name in names}
+        return {name: out[name] for name in names}, graphs
 
     def _bfs_distance_statistics(self, batch: WorldBatch) -> dict[str, np.ndarray]:
         """The exact/sampled backends: one shared histogram per world.
@@ -268,3 +285,70 @@ class BatchedWorldStatisticsEstimator:
             out["S_EDiam"][w] = effective_diameter(hist)
             out["S_CL"][w] = connectivity_length(hist)
         return out
+
+
+class BatchedWorldStatisticsEstimator:
+    """Evaluate statistics over possible worlds, a batch at a time.
+
+    Parameters
+    ----------
+    uncertain:
+        The published uncertain graph.
+    statistics:
+        As for :class:`BatchStatisticsEngine`.
+    distance_backend, sample_size, distance_seed, anf_b, powerlaw_d_min:
+        Engine configuration (see :class:`BatchStatisticsEngine`).
+    chunk_size:
+        Worlds sampled and evaluated per pass — the memory bound.  The
+        RNG stream is consumed identically for every chunking, so
+        results do not depend on this knob.
+    """
+
+    _UNSET = _UNSET
+
+    def __init__(
+        self,
+        uncertain: UncertainGraph,
+        statistics: Mapping[str, Callable[[Graph], float]] | None = None,
+        *,
+        chunk_size: int = 32,
+        **engine_options,
+    ):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._engine = BatchStatisticsEngine(statistics, **engine_options)
+        self._uncertain = uncertain
+        self._statistics = self._engine.statistics
+        self._chunk_size = chunk_size
+        self.last_worlds: list[Graph] = []
+
+    # ------------------------------------------------------------------
+    def run(
+        self, *, worlds: int, seed=None, collect_worlds: bool = False
+    ) -> dict[str, SampleSummary]:
+        """Sample ``worlds`` possible worlds and evaluate every statistic.
+
+        Identical contract (and identical per-world values) to
+        :meth:`repro.stats.sampling.WorldStatisticsEstimator.run`.
+        """
+        if worlds < 1:
+            raise ValueError(f"need at least one world, got {worlds}")
+        rng = as_rng(seed)
+        names = list(self._statistics)
+        values = {name: np.empty(worlds, dtype=np.float64) for name in names}
+        self.last_worlds = []
+        done = 0
+        while done < worlds:
+            count = min(self._chunk_size, worlds - done)
+            batch = WorldBatch.sample(self._uncertain, count, seed=rng)
+            chunk, graphs = self._engine.evaluate(
+                batch, names, collect_worlds=collect_worlds
+            )
+            if collect_worlds:
+                self.last_worlds.extend(graphs)
+            for name in names:
+                values[name][done : done + count] = chunk[name]
+            done += count
+        return {
+            name: SampleSummary(name=name, values=values[name]) for name in names
+        }

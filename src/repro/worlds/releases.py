@@ -1,0 +1,146 @@
+"""Batched Table-6 baseline releases as possible worlds.
+
+A randomized release scheme *is* a distribution over possible worlds
+(Nguyen et al., "Anonymizing Social Graphs via Uncertainty Semantics"):
+random sparsification publishes the possible world of an uncertain
+graph whose candidate pairs are the original edges at probability
+``1 − p``, and random perturbation additionally gives every original
+non-edge the tiny balanced addition probability.  This module exploits
+that view to draw ``W`` baseline releases through the same batch
+machinery the obfuscation side already uses — a :class:`WorldBatch`
+whose kernels (:mod:`repro.worlds.stats_batch`,
+:mod:`repro.worlds.anf_batch`) then evaluate all ten Table-6 statistics
+without materialising a single per-release Python loop.
+
+Determinism contract (pinned by ``tests/worlds/test_releases.py``):
+:func:`sample_releases` consumes the RNG stream *exactly* as ``W``
+sequential calls of :func:`repro.baselines.randomization.random_sparsification`
+/ :func:`~repro.baselines.randomization.random_perturbation` with a
+shared generator would —
+
+* sparsification draws one ``m``-uniform keep vector per release, and a
+  single ``(W, m)`` draw fills rows in C order, so the batch *is* the
+  ``W`` sequential draws;
+* perturbation interleaves keep draws with the geometric-skip addition
+  passes, so the batch replays the per-release order, release by
+  release, through the very same
+  :func:`~repro.baselines.randomization.sample_addition_indices` /
+  :func:`~repro.baselines.randomization.sample_added_pairs` primitives
+  the sequential path calls (every pass internally vectorised).
+
+Equal seeds therefore give identical releases edge-for-edge in both
+paths, which is what lets ``experiments/comparison.py`` keep the
+sequential functions as pinned ground truth while running Table 6 on
+the batched engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.randomization import (
+    _keep_mask,
+    sample_added_pairs,
+)
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_probability
+from repro.worlds.batch import WorldBatch, draw_packed_keep_bits
+
+#: The two whole-edge randomization schemes of §7.3.
+RELEASE_SCHEMES = ("sparsification", "perturbation")
+
+
+def sample_releases(
+    graph: Graph, scheme: str, p: float, worlds: int, *, seed=None
+) -> WorldBatch:
+    """Draw ``worlds`` randomized releases of ``graph`` as one batch.
+
+    Parameters
+    ----------
+    graph:
+        The original graph G.
+    scheme:
+        ``"sparsification"`` or ``"perturbation"``.
+    p:
+        The scheme's removal probability (perturbation's addition rate
+        is derived from ``graph`` as in the paper).
+    worlds:
+        Number of releases ``W``.
+    seed:
+        Anything :func:`repro.utils.rng.as_rng` accepts.  Passing a
+        ``Generator`` consumes the exact stream positions ``W``
+        sequential single-release calls would, so batched and
+        sequential draws from one generator interleave exactly.
+
+    Returns
+    -------
+    WorldBatch
+        ``batch.world_graph(w)`` equals the ``w``-th sequential release
+        from the same stream.  For perturbation the candidate columns
+        are the original edges followed by the union of all pairs added
+        in any release (sorted by pair code), each release keeping only
+        its own additions.
+    """
+    check_probability(p, "p")
+    if worlds < 0:
+        raise ValueError(f"number of releases must be non-negative, got {worlds}")
+    if scheme not in RELEASE_SCHEMES:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; use sparsification/perturbation"
+        )
+    rng = as_rng(seed)
+    edges = graph.edge_array()
+    if scheme == "sparsification":
+        return _sparsification_batch(rng, graph.num_vertices, edges, p, worlds)
+    return _perturbation_batch(rng, graph, edges, p, worlds)
+
+
+def _sparsification_batch(
+    rng, n: int, edges: np.ndarray, p: float, worlds: int
+) -> WorldBatch:
+    """One ``(W, m)`` Bernoulli keep pass over the original edges."""
+    m = len(edges)
+    if m == 0:
+        # the sequential sampler draws nothing for an edgeless graph
+        return WorldBatch.from_keep_matrix(
+            n, edges[:, 0], edges[:, 1], np.zeros((worlds, 0), dtype=bool)
+        )
+    packed = draw_packed_keep_bits(
+        rng, worlds, m, lambda uniforms: uniforms >= p
+    )
+    return WorldBatch(n, edges[:, 0].copy(), edges[:, 1].copy(), packed, m)
+
+
+def _perturbation_batch(
+    rng, graph: Graph, edges: np.ndarray, p: float, worlds: int
+) -> WorldBatch:
+    """Per-release keep + geometric-skip addition passes, union columns.
+
+    The candidate-pair list is the original edge list extended by every
+    pair added in *any* release; a release's keep row marks its kept
+    original edges and its own additions.  All releases then share one
+    column space, which is exactly the shape the batched kernels need.
+    """
+    n, m = graph.num_vertices, len(edges)
+    edge_codes = graph.edge_codes()
+    keep_rows = np.zeros((worlds, m), dtype=bool)
+    added_codes: list[np.ndarray] = []
+    for w in range(worlds):
+        if m:
+            keep_rows[w] = _keep_mask(rng, m, p)
+        added = sample_added_pairs(graph, p, rng, edge_codes=edge_codes)
+        added_codes.append(added[:, 0] * np.int64(n) + added[:, 1])
+    union = (
+        np.unique(np.concatenate(added_codes))
+        if added_codes and sum(len(c) for c in added_codes)
+        else np.empty(0, dtype=np.int64)
+    )
+    keep = np.zeros((worlds, m + len(union)), dtype=bool)
+    keep[:, :m] = keep_rows
+    for w, codes in enumerate(added_codes):
+        if len(codes):
+            keep[w, m + np.searchsorted(union, codes)] = True
+    us = np.concatenate([edges[:, 0], union // n])
+    vs = np.concatenate([edges[:, 1], union % n])
+    return WorldBatch.from_keep_matrix(n, us, vs, keep)

@@ -128,6 +128,63 @@ class TestSample:
         assert read_edge_list(a) == read_edge_list(b)
 
 
+class TestCompare:
+    def test_reports_both_schemes(self, graph_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--input", str(graph_file),
+                "--p", "0.3",
+                "--samples", "4",
+                "--backend", "exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "original" in out
+        assert "sparsification (p=0.3)" in out
+        assert "perturbation (p=0.3)" in out
+        assert "rel_err" in out
+
+    def test_backends_agree(self, graph_file, capsys):
+        outputs = []
+        for backend in ("batched", "sequential"):
+            code = main(
+                [
+                    "compare",
+                    "--input", str(graph_file),
+                    "--schemes", "sparsification",
+                    "--p", "0.5",
+                    "--samples", "4",
+                    "--backend", "exact",
+                    "--baseline-backend", backend,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_calibrates_when_p_missing(self, graph_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--input", str(graph_file),
+                "--schemes", "sparsification",
+                "--k", "2",
+                "--eps", "0.1",
+                "--samples", "3",
+                "--backend", "exact",
+            ]
+        )
+        assert code == 0
+        assert "calibrated p=" in capsys.readouterr().out
+
+    def test_requires_p_or_target(self, graph_file, capsys):
+        code = main(["compare", "--input", str(graph_file)])
+        assert code == 2
+        assert "--p" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
