@@ -4,7 +4,11 @@ from repro.anf.distance_stats import (
     anf_distance_histogram,
     neighbourhood_function_to_histogram,
 )
-from repro.anf.hyperanf import NeighbourhoodFunction, hyperanf
+from repro.anf.hyperanf import (
+    NeighbourhoodFunction,
+    hyperanf,
+    hyperanf_edgewise,
+)
 from repro.anf.hyperloglog import (
     HyperLogLog,
     estimate_many,
@@ -19,6 +23,7 @@ __all__ = [
     "init_registers",
     "estimate_many",
     "hyperanf",
+    "hyperanf_edgewise",
     "NeighbourhoodFunction",
     "anf_distance_histogram",
     "neighbourhood_function_to_histogram",

@@ -55,6 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="retry with c=3 then c=5 if the base c cannot bracket",
     )
+    p.add_argument(
+        "--engine",
+        default="array",
+        choices=("array", "sequential"),
+        help="Algorithm-2 engine: vectorised 'array' (default) or the "
+        "per-draw 'sequential' ground truth (same seed, same result)",
+    )
 
     p = sub.add_parser("verify", help="check Definition 2 on a release")
     p.add_argument("--original", required=True, help="edge-list file of G")
@@ -151,6 +158,7 @@ def _cmd_obfuscate(args) -> int:
         q=args.q,
         attempts=args.attempts,
         delta=args.delta,
+        engine=args.engine,
     )
     if not result.success:
         print(

@@ -18,7 +18,13 @@ from repro.core.degree_distribution import (
     poisson_binomial_mean_var,
     poisson_binomial_pmf,
 )
-from repro.core.generate import generate_obfuscation, select_excluded_vertices
+from repro.core.generate import (
+    CandidateStallError,
+    SearchContext,
+    SigmaSetup,
+    generate_obfuscation,
+    select_excluded_vertices,
+)
 from repro.core.generic_posterior import (
     SampledPropertyPosterior,
     degree_property,
@@ -33,7 +39,11 @@ from repro.core.obfuscation_check import (
     tolerance_achieved,
 )
 from repro.core.posterior_batch import (
+    FOLD_OUT_MAX_P,
+    IncrementalDegreePosterior,
     degree_posterior_matrix,
+    fold_in_bernoulli,
+    fold_out_bernoulli,
     normal_approx_pmf_batch,
     poisson_binomial_pmf_batch,
 )
@@ -92,6 +102,13 @@ __all__ = [
     "sample_perturbations",
     "generate_obfuscation",
     "select_excluded_vertices",
+    "CandidateStallError",
+    "SearchContext",
+    "SigmaSetup",
+    "FOLD_OUT_MAX_P",
+    "IncrementalDegreePosterior",
+    "fold_in_bernoulli",
+    "fold_out_bernoulli",
     "obfuscate",
     "obfuscate_with_fallback",
     "ObfuscationParams",

@@ -17,17 +17,39 @@ Given a target σ, the routine:
 True edges that get *removed* from ``E_C`` become certain non-edges
 (``p = 0``) — the coarse whole-edge deletions that partial perturbation
 mostly, but not entirely, replaces.
+
+Two execution engines share this module (``ObfuscationParams.engine``):
+
+* ``"array"`` (default) — candidate sets are built by vectorised
+  toggling over pair codes (:func:`_build_candidate_codes`), the
+  Definition-2 check runs on the incremental posterior engine
+  (:class:`repro.core.posterior_batch.IncrementalDegreePosterior`), and
+  all σ-independent setup is hoisted into a :class:`SearchContext`
+  shared across the probes of Algorithm 1's binary search.
+* ``"sequential"`` — the original per-draw Python loop, kept as pinned
+  ground truth.
+
+Both engines consume the *same* RNG stream call-for-call, so a fixed
+seed produces bit-identical candidate sets, released graphs and search
+traces on either — the property the seed-equivalence tests pin.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.core.obfuscation_check import compute_degree_posterior, tolerance_achieved
+from repro.core.obfuscation_check import (
+    DegreePosterior,
+    compute_degree_posterior,
+)
 from repro.core.perturbation import sample_perturbations
+from repro.core.posterior_batch import IncrementalDegreePosterior
 from repro.core.types import GenerationOutcome, ObfuscationParams
 from repro.core.uniqueness import (
-    degree_uniqueness,
+    degree_commonness_from_histogram,
+    degree_histogram,
     pair_uniqueness,
     redistribute_sigma,
 )
@@ -36,13 +58,90 @@ from repro.uncertain.graph import UncertainGraph
 from repro.utils.rng import as_rng
 
 #: Pairs are Q-sampled in batches of this size to amortise the cost of
-#: ``rng.choice`` over the vertex distribution.
-_BATCH = 4096
+#: weighted sampling over the vertex distribution.  At the paper's
+#: ``c = 2`` a typical attempt needs ≈ ``|E|`` net additions, so one
+#: batch usually suffices for graphs up to ~8k edges; the unused tail
+#: of the final batch is discarded (both engines share this contract,
+#: so the candidate stream is identical on either).
+_BATCH = 8192
 
 #: Bail-out multiplier: if candidate-set construction consumes more than
 #: this many draws per needed pair, the graph is too dense/small for the
 #: requested ``c`` and we raise instead of spinning.
 _MAX_DRAW_FACTOR = 200
+
+#: Bits reserved for the within-batch draw position in the packed
+#: (code, position) sort keys of :func:`_build_candidate_codes`.
+_POS_BITS = (_BATCH - 1).bit_length()
+_POS_MASK = (1 << _POS_BITS) - 1
+
+#: Largest vertex count for which ``code << _POS_BITS`` stays inside
+#: int64 (codes reach n² − 1, so n² · 2^_POS_BITS must be < 2⁶³);
+#: beyond it the builder falls back to ``np.unique`` for the
+#: first-occurrence collapse instead of silently overflowing.
+_PACK_SAFE_VERTICES = 1 << ((63 - _POS_BITS) // 2)
+
+
+class WeightedVertexSampler:
+    """Bit-exact, table-accelerated replica of weighted ``rng.choice``.
+
+    ``Generator.choice(n, size, p=probs, replace=True)`` draws ``size``
+    uniforms and inverts the normalised CDF with
+    ``searchsorted(side="right")`` — a binary search per draw, which
+    dominates candidate-set construction.  This sampler precomputes the
+    same CDF once per Q distribution plus a power-of-two lookup table
+    over ``[0, 1)``: because ``u·T`` and ``t/T`` are exact binary
+    scalings, ``lut[t] = #{i: cdf_i ≤ t/T}`` *equals* the searchsorted
+    result at every cell boundary, so a draw resolves with one gather
+    and (typically zero) monotone refinement jumps.  Outputs and RNG
+    state are bit-identical to ``rng.choice`` — historical streams are
+    preserved, which the sampler equivalence test pins.
+    """
+
+    _TABLE_BITS = 14
+
+    def __init__(self, probs: np.ndarray):
+        probs = np.asarray(probs, dtype=np.float64)
+        cdf = np.cumsum(probs)
+        cdf /= cdf[-1]  # exactly numpy's normalisation (choice does the same)
+        self._cdf = cdf
+        T = 1 << self._TABLE_BITS
+        self._T = T
+        cells = np.minimum(np.ceil(cdf * T).astype(np.int64), T)
+        self._lut = np.cumsum(np.bincount(cells, minlength=T + 1))
+        # Jump table over ties: runs of equal CDF values (zero-probability
+        # vertices) are skipped whole, keeping refinement O(distinct values).
+        last = np.empty(len(cdf), dtype=bool)
+        last[:-1] = cdf[1:] > cdf[:-1]
+        last[-1] = True
+        end_idx = np.where(last, np.arange(len(cdf)), len(cdf))
+        first_change = np.minimum.accumulate(end_idx[::-1])[::-1]
+        self._next_distinct = first_change + 1
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` vertex indices; consumes ``rng.random(size)``."""
+        u = rng.random(size)
+        cdf = self._cdf
+        idx = self._lut[(u * self._T).astype(np.int64)]
+        while True:
+            advance = np.flatnonzero(cdf[idx] <= u)
+            if not advance.size:
+                return idx
+            idx[advance] = self._next_distinct[idx[advance]]
+
+
+class CandidateStallError(RuntimeError):
+    """Candidate-set construction could not reach ``|E_C| = c·|E|``.
+
+    A stochastic stall: every eligible non-edge was absorbed before the
+    target size was hit.  Algorithm 2 counts it as a failed attempt.
+    ``pairs_drawn`` records the Q-sample draws consumed before giving
+    up, so throughput accounting stays honest across failures.
+    """
+
+    def __init__(self, message: str, pairs_drawn: int):
+        super().__init__(message)
+        self.pairs_drawn = pairs_drawn
 
 
 def select_excluded_vertices(
@@ -61,28 +160,80 @@ def select_excluded_vertices(
     return np.sort(order[:size])
 
 
+def _stall_message(target_size: int, draws_used: int) -> str:
+    return (
+        f"candidate-set construction did not reach |E_C|={target_size} "
+        f"after {draws_used} draws; the graph is likely too dense for c"
+    )
+
+
+def _sorted_contains(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Membership of ``needles`` in a sorted ``haystack``, per element.
+
+    One binary-search pass — unlike ``np.isin``, which argsorts the
+    concatenation of both arrays on every call even under
+    ``assume_unique``.
+    """
+    if not len(haystack):
+        return np.zeros(len(needles), dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    pos_clip = np.minimum(pos, len(haystack) - 1)
+    return (pos < len(haystack)) & (haystack[pos_clip] == needles)
+
+
+def _merge_sorted_disjoint(
+    a: np.ndarray, b: np.ndarray, *, return_positions: bool = False
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Union of two sorted arrays with no common elements.
+
+    The rank of each ``b`` element in the merged order is its
+    searchsorted position in ``a`` plus its own index — no re-sort of
+    the concatenation (``np.union1d`` would sort all ``|a|+|b|``
+    elements again every batch).  With ``return_positions`` the merged
+    indices of the ``b`` elements are returned too.
+    """
+    if not len(a) or not len(b):
+        out = b if not len(a) else a
+        if return_positions:
+            positions = (
+                np.arange(len(b)) if not len(a) else np.empty(0, dtype=np.int64)
+            )
+            return out, positions
+        return out
+    out = np.empty(len(a) + len(b), dtype=a.dtype)
+    b_dest = np.searchsorted(a, b) + np.arange(len(b))
+    mask = np.ones(len(out), dtype=bool)
+    mask[b_dest] = False
+    out[mask] = a
+    out[b_dest] = b
+    if return_positions:
+        return out, b_dest
+    return out
+
+
 def _build_candidate_set(
     n: int,
     edge_set: set[tuple[int, int]],
     target_size: int,
     q_probs: np.ndarray,
     rng: np.random.Generator,
-) -> set[tuple[int, int]]:
+) -> tuple[set[tuple[int, int]], int]:
     """Lines 6–12 of Algorithm 2: grow E_C from E by Q-weighted toggles.
 
-    ``edge_set`` is the original graph's edge set (ordered ``u < v``
-    tuples), precomputed once per :func:`generate_obfuscation` call so
-    the per-draw edge test is one set membership probe instead of a
-    bounds-checked :meth:`Graph.has_edge` call.
+    The per-draw Python loop — pinned ground truth for
+    :func:`_build_candidate_codes`, which replays the identical RNG
+    stream with array ops (``rng.choice`` with a probability vector is
+    bit-equivalent to :class:`WeightedVertexSampler`, which the sampler
+    tests pin).  Returns the candidate set and the number of scalar
+    draws consumed (two per candidate pair).
     """
     candidate: set[tuple[int, int]] = set(edge_set)
     max_draws = max(_MAX_DRAW_FACTOR * max(target_size, 1), 10_000)
     draws_used = 0
     while len(candidate) != target_size:
         if draws_used >= max_draws:
-            raise RuntimeError(
-                f"candidate-set construction did not reach |E_C|={target_size} "
-                f"after {draws_used} draws; the graph is likely too dense for c"
+            raise CandidateStallError(
+                _stall_message(target_size, draws_used), draws_used // 2
             )
         batch = rng.choice(n, size=2 * _BATCH, p=q_probs, replace=True)
         draws_used += 2 * _BATCH
@@ -97,7 +248,290 @@ def _build_candidate_set(
                 candidate.add(key)
             if len(candidate) == target_size:
                 break
-    return candidate
+    return candidate, draws_used
+
+
+def _build_candidate_codes(
+    n: int,
+    edge_codes: np.ndarray,
+    target_size: int,
+    sampler: WeightedVertexSampler,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Vectorised Lines 6–12: same RNG stream, identical candidate set.
+
+    Each ``rng.choice`` batch (the very call the sequential builder
+    makes, so the stream stays aligned) is processed with array ops:
+    pairs are encoded as scalar codes ``u·n + v``, self-pairs masked,
+    repeated toggles collapsed to their first occurrence (an original
+    edge is only ever *removed*, a non-edge only ever *added*, so every
+    later occurrence of a code is a no-op), membership resolved against
+    the sorted ``edge_codes`` via ``np.isin``, and the "stop when
+    ``|E_C| = c·|E|``" cutoff located with a cumulative net-size scan.
+
+    Returns
+    -------
+    (codes, is_edge, draws_used):
+        Sorted candidate pair codes, a parallel mask marking original
+        edges, and the number of scalar draws consumed — bit-identical,
+        draw-for-draw, to :func:`_build_candidate_set` at the same RNG
+        state (pinned by the seed-equivalence tests).
+    """
+    m = len(edge_codes)
+    max_draws = max(_MAX_DRAW_FACTOR * max(target_size, 1), 10_000)
+    draws_used = 0
+    size = m
+    toggled = np.empty(0, dtype=np.int64)  # sorted codes already toggled
+    removed_parts: list[np.ndarray] = []
+    added_parts: list[np.ndarray] = []
+    while size != target_size:
+        if draws_used >= max_draws:
+            raise CandidateStallError(
+                _stall_message(target_size, draws_used), draws_used // 2
+            )
+        batch = sampler.sample(rng, 2 * _BATCH)
+        draws_used += 2 * _BATCH
+        us, vs = batch[0::2], batch[1::2]
+        valid = np.flatnonzero(us != vs)
+        if not valid.size:
+            continue  # every draw was a self-pair
+        codes = np.minimum(us[valid], vs[valid]) * np.int64(n) + np.maximum(
+            us[valid], vs[valid]
+        )
+        # First occurrence of each code in draw order, via one unstable
+        # sort of packed (code, position) keys: ``valid`` holds indices
+        # into the _BATCH-long pair arrays, so positions are < _BATCH
+        # and fit in the low _POS_BITS bits.  Sorting the packed key
+        # groups equal codes with their draw positions ascending — the
+        # group head is the first occurrence.  ~2× faster than
+        # np.unique's stable mergesort for the same result, which stays
+        # as the fallback when n is large enough for the shifted codes
+        # to overflow int64.
+        if n <= _PACK_SAFE_VERTICES:
+            packed = (codes << _POS_BITS) | valid
+            packed.sort()
+            head = np.empty(len(packed), dtype=bool)
+            head[0] = True
+            np.not_equal(
+                packed[1:] >> _POS_BITS, packed[:-1] >> _POS_BITS, out=head[1:]
+            )
+            heads = packed[head]
+            uniq, first_idx = heads >> _POS_BITS, heads & _POS_MASK
+        else:
+            uniq, first_idx = np.unique(codes, return_index=True)
+            first_idx = valid[first_idx]
+        if toggled.size:
+            fresh = ~_sorted_contains(toggled, uniq)
+            uniq, first_idx = uniq[fresh], first_idx[fresh]
+        is_edge_sorted = _sorted_contains(edge_codes, uniq)
+        order = np.argsort(first_idx)  # restore draw order
+        eff_codes = uniq[order]
+        is_edge = is_edge_sorted[order]
+        running = size + np.cumsum(np.where(is_edge, -1, 1))
+        hits = np.flatnonzero(running == target_size)
+        if hits.size:
+            stop = int(hits[0])
+            eff_codes, is_edge = eff_codes[: stop + 1], is_edge[: stop + 1]
+            size = target_size
+        elif running.size:
+            size = int(running[-1])
+        removed_parts.append(eff_codes[is_edge])
+        added_parts.append(eff_codes[~is_edge])
+        if size != target_size:
+            toggled = _merge_sorted_disjoint(toggled, np.sort(eff_codes))
+
+    if removed_parts:
+        removed = np.concatenate(removed_parts)
+        removed.sort()
+        kept = edge_codes[~_sorted_contains(removed, edge_codes)]
+        added = np.concatenate(added_parts)
+        added.sort()
+    else:
+        kept = edge_codes
+        added = np.empty(0, dtype=np.int64)
+    codes, added_dest = _merge_sorted_disjoint(kept, added, return_positions=True)
+    is_edge = np.ones(len(codes), dtype=bool)
+    is_edge[added_dest] = False
+    return codes, is_edge, draws_used
+
+
+class SigmaSetup:
+    """Per-σ derived state of Algorithm 2 (Lines 1–5), memo-friendly.
+
+    Attributes
+    ----------
+    uniqueness:
+        Per-vertex ``U_σ(P(v))`` after the weighting-mode override
+        (all-ones under the ``"uniform"`` ablation).
+    excluded:
+        The set ``H`` (sorted vertex ids).
+    q_probs:
+        The sampling distribution ``Q`` over ``V \\ H``.
+    available_additions:
+        Number of non-edges with both endpoints outside ``H`` — the
+        feasibility headroom for the ``|E_C| = c·|E|`` target.
+    sampler:
+        The table-accelerated Q sampler
+        (:class:`WeightedVertexSampler`) the array builder draws
+        batches from — built lazily so the sequential engine (which
+        calls ``rng.choice`` directly) never pays for its tables.
+    """
+
+    __slots__ = (
+        "uniqueness",
+        "excluded",
+        "q_probs",
+        "available_additions",
+        "_sampler",
+    )
+
+    def __init__(self, uniqueness, excluded, q_probs, available_additions):
+        self.uniqueness = uniqueness
+        self.excluded = excluded
+        self.q_probs = q_probs
+        self.available_additions = available_additions
+        self._sampler: WeightedVertexSampler | None = None
+
+    @property
+    def sampler(self) -> WeightedVertexSampler:
+        if self._sampler is None:
+            self._sampler = WeightedVertexSampler(self.q_probs)
+        return self._sampler
+
+
+class SearchContext:
+    """Hoisted state shared across the probes of the Algorithm-1 search.
+
+    One Algorithm-1 run calls Algorithm 2 at a dozen or more σ values;
+    everything that does not depend on σ — degrees, the degree
+    histogram behind uniqueness, the edge set in both set and code
+    form, the checker width, and the incremental posterior engine — is
+    computed once here.  Per-σ setup (uniqueness, ``H``, Q-weights and
+    the feasibility count) is memoised by σ, so repeated probes at the
+    same σ (the doubling ladder replayed by ``obfuscate_with_fallback``
+    when it escalates ``c``, or external sweeps) cost a dict lookup.
+
+    A context is bound to one graph and one ``(eps, weighting, method)``
+    combination; ``c``, ``k``, ``q`` and the σ-search knobs may vary
+    freely across calls that share it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        eps: float,
+        weighting: str = "uniqueness",
+        method: str = "auto",
+    ):
+        self.graph = graph
+        self.eps = eps
+        self.weighting = weighting
+        self.method = method
+        self.n = graph.num_vertices
+        self.m = graph.num_edges
+        self.degrees = graph.degrees()
+        self.width = int(self.degrees.max(initial=0)) + 2
+        self.edge_codes = graph.edge_codes()
+        self._edge_us = self.edge_codes // max(self.n, 1)
+        self._edge_vs = self.edge_codes % max(self.n, 1)
+        self._degree_hist = degree_histogram(self.degrees)
+        # Distinct original degrees + inverse map, shared by every
+        # Definition-2 check (one np.unique instead of one per attempt).
+        self.distinct_degrees, self.degree_inverse = np.unique(
+            self.degrees, return_inverse=True
+        )
+        self._edge_set: set[tuple[int, int]] | None = None
+        self._setups: dict[float, SigmaSetup] = {}
+        self._posterior_engine: IncrementalDegreePosterior | None = None
+
+    @classmethod
+    def for_params(cls, graph: Graph, params: ObfuscationParams) -> "SearchContext":
+        """Build a context matching an ObfuscationParams bundle."""
+        return cls(
+            graph,
+            eps=params.eps,
+            weighting=params.weighting,
+            method=params.method,
+        )
+
+    def check(self, graph: Graph, params: ObfuscationParams) -> None:
+        """Raise if this context cannot serve ``(graph, params)``."""
+        if self.graph is not graph:
+            raise ValueError("search context was built for a different graph")
+        if (self.eps, self.weighting, self.method) != (
+            params.eps,
+            params.weighting,
+            params.method,
+        ):
+            raise ValueError(
+                "search context (eps/weighting/method) does not match params"
+            )
+
+    @property
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The original edge set (built lazily; only the sequential
+        engine's per-draw membership probes need it)."""
+        if self._edge_set is None:
+            self._edge_set = self.graph.edge_set()
+        return self._edge_set
+
+    def posterior_engine(self) -> IncrementalDegreePosterior:
+        """The shared incremental posterior engine (array engine only).
+
+        ``fold=False``: changed rows are recomputed through the
+        row-independent staircase/CLT passes, keeping the array engine
+        bit-identical to the sequential one at every attempt.
+        """
+        if self._posterior_engine is None:
+            self._posterior_engine = IncrementalDegreePosterior(
+                self.n, width=self.width, method=self.method, fold=False
+            )
+        return self._posterior_engine
+
+    def sigma_setup(self, sigma: float) -> SigmaSetup:
+        """Memoised per-σ setup (uniqueness, H, Q, feasibility)."""
+        key = float(sigma)
+        setup = self._setups.get(key)
+        if setup is None:
+            setup = self._make_setup(sigma, None)
+            self._setups[key] = setup
+        return setup
+
+    def setup_for_excluded(self, sigma: float, excluded: np.ndarray) -> SigmaSetup:
+        """Per-σ setup with an externally-chosen ``H`` (never memoised)."""
+        return self._make_setup(sigma, np.asarray(excluded, dtype=np.int64))
+
+    def _make_setup(self, sigma: float, excluded: np.ndarray | None) -> SigmaSetup:
+        commonness = degree_commonness_from_histogram(self._degree_hist, sigma)
+        uniqueness = 1.0 / commonness[self.degrees]
+        if excluded is None:
+            excluded = select_excluded_vertices(uniqueness, self.eps, self.n)
+        if self.weighting == "uniform":
+            # Ablation mode: ignore uniqueness for both pair sampling and
+            # the σ(e) redistribution (flat budget).
+            uniqueness = np.ones(self.n, dtype=np.float64)
+        # Q(v) ∝ U_σ(P(v)) on V \ H (Line 3, restricted per Lines 8-9).
+        q_weights = uniqueness.copy()
+        q_weights[excluded] = 0.0
+        total_weight = q_weights.sum()
+        if total_weight <= 0:
+            raise ValueError(
+                "every vertex was excluded; cannot sample candidate pairs"
+            )
+        q_probs = q_weights / total_weight
+        # Feasibility: E_C can grow at most to |E| plus the non-edges
+        # available among V \ H.  The paper's |E| ≪ |V2|/2 assumption
+        # makes this always hold on real social graphs; tiny dense
+        # graphs can violate it.  One mask pass over the edge codes
+        # replaces the former per-edge Python set probes.
+        eligible_mask = q_probs > 0
+        n_eligible = int(eligible_mask.sum())
+        edges_within = int(
+            (eligible_mask[self._edge_us] & eligible_mask[self._edge_vs]).sum()
+        )
+        available = n_eligible * (n_eligible - 1) // 2 - edges_within
+        return SigmaSetup(uniqueness, excluded, q_probs, available)
 
 
 def generate_obfuscation(
@@ -107,6 +541,7 @@ def generate_obfuscation(
     *,
     seed=None,
     excluded: np.ndarray | None = None,
+    context: SearchContext | None = None,
 ) -> GenerationOutcome:
     """Run Algorithm 2 at spread σ and return the best attempt.
 
@@ -118,12 +553,19 @@ def generate_obfuscation(
         Uncertainty budget (standard deviation of the base perturbation
         distribution; also the kernel width θ for uniqueness).
     params:
-        Obfuscation parameters (k, ε, c, q, attempts, checker method).
+        Obfuscation parameters (k, ε, c, q, attempts, checker method,
+        engine).
     seed:
         RNG seed/stream.
     excluded:
         Optional externally-chosen ``H`` (the paper allows H, or part of
         it, to be an input); defaults to the top-uniqueness selection.
+    context:
+        Optional :class:`SearchContext` to reuse across probes; the
+        Algorithm-1 driver passes one so degrees, edge codes, per-σ
+        uniqueness/Q-weights and the posterior engine are shared.  Must
+        have been built for this graph and ``params``' eps/weighting/
+        method.
 
     Returns
     -------
@@ -134,91 +576,102 @@ def generate_obfuscation(
     if sigma < 0:
         raise ValueError(f"sigma must be non-negative, got {sigma}")
     rng = as_rng(seed)
-    n = graph.num_vertices
-    m = graph.num_edges
+    if context is None:
+        context = SearchContext.for_params(graph, params)
+    else:
+        context.check(graph, params)
+    n, m = context.n, context.m
     if n < 2 or m == 0:
         raise ValueError("graph must have at least two vertices and one edge")
 
-    degrees = graph.degrees()
-    uniqueness = degree_uniqueness(degrees, sigma)
-
     if excluded is None:
-        excluded = select_excluded_vertices(uniqueness, params.eps, n)
+        setup = context.sigma_setup(sigma)
     else:
-        excluded = np.asarray(excluded, dtype=np.int64)
-
-    if params.weighting == "uniform":
-        # Ablation mode: ignore uniqueness for both pair sampling and the
-        # σ(e) redistribution (flat budget).
-        uniqueness = np.ones(n, dtype=np.float64)
-
-    # Q(v) ∝ U_σ(P(v)) on V \ H (Line 3, restricted per Lines 8-9).
-    q_weights = uniqueness.copy()
-    q_weights[excluded] = 0.0
-    total_weight = q_weights.sum()
-    if total_weight <= 0:
-        raise ValueError("every vertex was excluded; cannot sample candidate pairs")
-    q_probs = q_weights / total_weight
+        setup = context.setup_for_excluded(sigma, excluded)
+    uniqueness, q_probs = setup.uniqueness, setup.q_probs
 
     target_size = int(round(params.c * m))
-    width = int(degrees.max()) + 2  # checker needs columns only at original degrees
-    edge_set = graph.edge_set()
-    edge_codes = graph.edge_codes()
-
-    # Feasibility: E_C can grow at most to |E| plus the non-edges available
-    # among V \ H.  The paper's |E| ≪ |V2|/2 assumption makes this always
-    # hold on real social graphs; tiny dense graphs can violate it.
-    eligible = np.flatnonzero(q_probs > 0)
-    eligible_set = set(int(v) for v in eligible)
-    edges_within = sum(
-        1 for u, v in edge_set if u in eligible_set and v in eligible_set
-    )
-    available_additions = len(eligible) * (len(eligible) - 1) // 2 - edges_within
-    if target_size > m + available_additions:
+    width = context.width  # checker needs columns only at original degrees
+    if target_size > m + setup.available_additions:
         raise ValueError(
             f"candidate-set target c|E|={target_size} exceeds the {m} edges plus "
-            f"{available_additions} addable non-edges outside H; reduce c"
+            f"{setup.available_additions} addable non-edges outside H; reduce c"
         )
 
     best = GenerationOutcome(
         eps_achieved=float("inf"), uncertain=None, sigma=sigma
     )
+    pairs_drawn = 0
+    use_array = params.engine == "array"
+    posterior_engine = context.posterior_engine() if use_array else None
+    edge_set = context.edge_set if not use_array else None
+    k_threshold = math.log2(params.k) - 1e-12  # Definition-2 bound, as k_obfuscated
     for attempt in range(params.attempts):
         try:
-            candidate = _build_candidate_set(n, edge_set, target_size, q_probs, rng)
-        except RuntimeError:
+            if use_array:
+                codes, is_edge, draws_used = _build_candidate_codes(
+                    n, context.edge_codes, target_size, setup.sampler, rng
+                )
+                us, vs = codes // n, codes % n
+            else:
+                candidate, draws_used = _build_candidate_set(
+                    n, edge_set, target_size, q_probs, rng
+                )
+        except CandidateStallError as stall:
             # Stochastic stall (all eligible non-edges absorbed before the
             # target was hit) — count as a failed attempt, like the paper's
             # other per-attempt failure modes.
+            pairs_drawn += stall.pairs_drawn
             continue
+        pairs_drawn += draws_used // 2
+        if not use_array:
+            pairs = np.array(sorted(candidate), dtype=np.int64)
+            us, vs = pairs[:, 0], pairs[:, 1]
 
-        pairs = np.array(sorted(candidate), dtype=np.int64)
-        us, vs = pairs[:, 0], pairs[:, 1]
         pair_uniq = pair_uniqueness(uniqueness, us, vs)
         pair_sigmas = redistribute_sigma(sigma, pair_uniq)
 
         perturbations = sample_perturbations(pair_sigmas, seed=rng)
-        white = rng.random(len(pairs)) < params.q
+        white = rng.random(len(us)) < params.q
         if white.any():
             perturbations[white] = rng.random(int(white.sum()))
 
-        is_edge = np.isin(us * np.int64(n) + vs, edge_codes, assume_unique=True)
+        if not use_array:
+            is_edge = np.isin(
+                us * np.int64(n) + vs, context.edge_codes, assume_unique=True
+            )
         probs = np.where(is_edge, 1.0 - perturbations, perturbations)
 
-        uncertain = UncertainGraph.from_arrays(n, us, vs, probs, keep_zero=True)
-
-        posterior = compute_degree_posterior(
-            uncertain, method=params.method, width=width
-        )
-        eps_attempt = tolerance_achieved(
-            uncertain, degrees, params.k, posterior=posterior
-        )
+        if use_array:
+            # The incremental engine diffs this attempt's candidate set
+            # against the previous one and only touches changed rows; no
+            # UncertainGraph is materialised unless the attempt wins.
+            matrix = posterior_engine.update_from_pairs(us, vs, probs, codes=codes)
+            posterior = DegreePosterior(matrix)
+            uncertain = None
+        else:
+            uncertain = UncertainGraph.from_arrays(n, us, vs, probs, keep_zero=True)
+            posterior = compute_degree_posterior(
+                uncertain, method=params.method, width=width
+            )
+        # Line 20: ε̃ = |{v: H(Y_{P(v)}) < log2 k}| / n, sharing the
+        # context's distinct-degree dedup (same arithmetic as
+        # tolerance_achieved → k_obfuscated).
+        entropies = posterior.column_entropies(context.distinct_degrees)
+        obfuscated = entropies[context.degree_inverse] >= k_threshold
+        eps_attempt = float((~obfuscated).sum()) / max(n, 1)
         if eps_attempt <= params.eps and eps_attempt < best.eps_achieved:
+            if uncertain is None:
+                # The array builder guarantees sorted unique u < v pairs
+                # and owns the probs buffer — skip re-validation.
+                uncertain = UncertainGraph._from_trusted_arrays(n, us, vs, probs)
             best = GenerationOutcome(
                 eps_achieved=eps_attempt,
                 uncertain=uncertain,
                 sigma=sigma,
                 attempts_made=attempt + 1,
             )
-    best.attempts_made = params.attempts
+    if best.uncertain is None:
+        best.attempts_made = params.attempts
+    best.pairs_drawn = pairs_drawn
     return best

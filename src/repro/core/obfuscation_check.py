@@ -26,7 +26,6 @@ from repro.core.degree_distribution import degree_pmf
 from repro.core.posterior_batch import degree_posterior_matrix
 from repro.graphs.graph import Graph
 from repro.uncertain.graph import UncertainGraph
-from repro.utils.entropy import entropy_bits
 
 
 class DegreePosterior:
@@ -97,23 +96,60 @@ class DegreePosterior:
         return col / total
 
     def column_entropy(self, omega: int) -> float:
-        """``H(Y_ω)`` in bits; 0.0 for unattainable degrees (see class notes)."""
-        col = self.x_column(omega)
-        if col.sum() <= 0.0:
-            return 0.0
-        return entropy_bits(col, normalize=True)
+        """``H(Y_ω)`` in bits; 0.0 for unattainable degrees (see class notes).
+
+        Routed through :meth:`column_entropies` so the scalar and
+        vectorised paths agree bit-for-bit on every column.
+        """
+        return float(self.column_entropies(np.array([omega]))[0])
+
+    def column_entropies(self, omegas: np.ndarray) -> np.ndarray:
+        """``H(Y_ω)`` for a whole array of degrees in one vectorised pass.
+
+        Out-of-range and unattainable (zero-mass) degrees yield 0.0,
+        like :meth:`column_entropy`.  One ``(n, |ω|)`` normalise-and-
+        ``x·log2 x`` evaluation replaces a Python loop of per-column
+        :func:`repro.utils.entropy_bits` calls — the Definition-2
+        checker runs once per Algorithm-2 attempt, so this is on the σ
+        search's hot path.
+        """
+        omegas = np.asarray(omegas, dtype=np.int64)
+        out = np.zeros(omegas.shape, dtype=np.float64)
+        valid = (omegas >= 0) & (omegas < self.width)
+        if not valid.any():
+            return out
+        cols = self._matrix[:, omegas[valid]]
+        totals = cols.sum(axis=0)
+        attainable = totals > 0.0
+        if attainable.any():
+            cols = cols[:, attainable]
+            # H(c/T) = log2 T − (Σ c·log2 c)/T — one log2 pass over the
+            # unnormalised columns instead of normalise-then-log, with
+            # the 0·log 0 = 0 convention handled by a masked write.
+            plogp = np.zeros_like(cols)
+            np.log2(cols, out=plogp, where=cols > 0.0)
+            plogp *= cols
+            live_totals = totals[attainable]
+            entropies = np.zeros(len(totals), dtype=np.float64)
+            entropies[attainable] = (
+                np.log2(live_totals) - plogp.sum(axis=0) / live_totals
+            )
+            out[valid] = entropies
+        return out
 
     def entropy_by_degree(self, degrees: np.ndarray) -> dict[int, float]:
         """``H(Y_ω)`` for every distinct value in ``degrees``."""
-        return {int(w): self.column_entropy(int(w)) for w in np.unique(degrees)}
+        distinct = np.unique(np.asarray(degrees, dtype=np.int64))
+        entropies = self.column_entropies(distinct)
+        return {int(w): float(h) for w, h in zip(distinct, entropies)}
 
     def obfuscation_entropies(self, degrees: np.ndarray) -> np.ndarray:
         """Per-vertex entropy ``H(Y_{P(v)})`` for original degrees ``P(v)``."""
         degrees = np.asarray(degrees, dtype=np.int64)
         if degrees.shape[0] != self.num_vertices:
             raise ValueError("need one original degree per vertex")
-        by_degree = self.entropy_by_degree(degrees)
-        return np.array([by_degree[int(w)] for w in degrees], dtype=np.float64)
+        distinct, inverse = np.unique(degrees, return_inverse=True)
+        return self.column_entropies(distinct)[inverse]
 
     def obfuscation_levels(self, degrees: np.ndarray) -> np.ndarray:
         """Per-vertex obfuscation level ``2^{H(Y_{P(v)})}`` ("effective k").
@@ -194,7 +230,7 @@ def compute_degree_posterior_scalar(
 
 
 def tolerance_achieved(
-    uncertain: UncertainGraph,
+    uncertain: UncertainGraph | None,
     original_degrees: np.ndarray,
     k: float,
     *,
@@ -206,7 +242,9 @@ def tolerance_achieved(
     Parameters
     ----------
     uncertain:
-        Candidate release.
+        Candidate release.  May be ``None`` when ``posterior`` is given
+        — the array engine checks attempts straight off the incremental
+        posterior without materialising an uncertain graph.
     original_degrees:
         ``P(v)`` — degrees in the original graph G (the adversary's
         background knowledge).
@@ -219,6 +257,8 @@ def tolerance_achieved(
     """
     original_degrees = np.asarray(original_degrees, dtype=np.int64)
     if posterior is None:
+        if uncertain is None:
+            raise ValueError("need an uncertain graph or a precomputed posterior")
         width = max(int(original_degrees.max(initial=0)) + 1, 1)
         posterior = compute_degree_posterior(uncertain, method=method, width=width)
     mask = posterior.k_obfuscated(original_degrees, k)

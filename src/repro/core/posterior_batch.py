@@ -29,12 +29,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.degree_distribution import AUTO_EXACT_LIMIT, _SQRT2, erf_array
+from repro.graphs.traversal import multi_range
 
 __all__ = [
     "poisson_binomial_pmf_batch",
     "normal_approx_pmf_batch",
     "degree_posterior_matrix",
+    "fold_in_bernoulli",
+    "fold_out_bernoulli",
+    "IncrementalDegreePosterior",
 ]
+
+#: Fold-out stability bound: the inverse Lemma-1 recurrence amplifies
+#: rounding error by ``(p/(1-p))^ω`` across the ω columns, so folding a
+#: Bernoulli *out* of a DP row is only well-conditioned for ``p ≤ 1/2``.
+#: The incremental engine recomputes rows whose removed entries exceed it.
+FOLD_OUT_MAX_P = 0.5
+
+#: Element budget (≈128 MB of float64) above which the staircase DP
+#: streams addend columns from the CSR instead of building the dense
+#: padded (rows, max-ℓ) matrix — forced-exact mode on skewed graphs
+#: must not pay O(rows·max-ℓ) memory for a per-step gather it can do
+#: in place.
+_DENSE_ADDEND_BUDGET = 1 << 24
 
 
 def poisson_binomial_pmf_batch(
@@ -162,6 +179,7 @@ def degree_posterior_matrix(
     *,
     method: str = "auto",
     width: int | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """The full ``(n, width)`` X matrix from CSR incident probabilities.
 
@@ -181,6 +199,10 @@ def degree_posterior_matrix(
         Number of degree columns (default: max addend count plus one,
         i.e. no truncation).  Truncated tail mass is dropped, never
         lumped.
+    out:
+        Optional preallocated ``(n, width)`` float64 buffer to fill and
+        return (zeroed first) — the incremental engine reuses its
+        matrix across rebuilds instead of allocating per attempt.
 
     Returns
     -------
@@ -210,7 +232,13 @@ def degree_posterior_matrix(
     else:
         raise ValueError(f"unknown method {method!r}; use exact/normal/auto")
 
-    X = np.zeros((n, width), dtype=np.float64)
+    if out is None:
+        X = np.zeros((n, width), dtype=np.float64)
+    else:
+        if out.shape != (n, width) or out.dtype != np.float64:
+            raise ValueError(f"out must be a float64 ({n}, {width}) array")
+        X = out
+        X[...] = 0.0
 
     exact_vertices = np.flatnonzero(exact_mask)
     if exact_vertices.size:
@@ -225,30 +253,492 @@ def degree_posterior_matrix(
         order = np.argsort(-exact_counts, kind="stable")
         sorted_vertices = exact_vertices[order]
         sorted_counts = exact_counts[order]
-        M = np.zeros((len(sorted_vertices), width), dtype=np.float64)
+        # An exact row with ℓ addends has support ≤ ℓ, so the working
+        # matrix never needs more than max-ℓ + 1 columns even when the
+        # caller's width is larger (X's tail columns stay zero).
+        rows = len(sorted_vertices)
+        steps = int(sorted_counts[0])
+        m_width = min(width, steps + 1)
+        M = np.zeros((rows, m_width), dtype=np.float64)
         M[:, 0] = 1.0
+        # Active-prefix schedule: step s touches the k_s rows with
+        # ℓ > s; with rows in descending-ℓ order that is a prefix, and
+        # the whole schedule is one histogram pass instead of a
+        # searchsorted per step.
+        hist = np.bincount(sorted_counts, minlength=steps + 1)
+        ks = rows - np.cumsum(hist)[:steps] if steps else np.empty(0, np.int64)
+        # Column-major padded addend matrix: PT[s] is step s's
+        # probability column, a contiguous slice instead of a per-step
+        # CSR gather; QT carries the complements, computed in one pass.
+        # The dense pad costs O(rows·max-ℓ): fine for the auto bucket
+        # (ℓ ≤ AUTO_EXACT_LIMIT) but a memory blow-up when exact mode is
+        # forced on a skewed graph, so large workloads keep the
+        # zero-copy per-step gather (same values, same arithmetic).
         starts = indptr[sorted_vertices]
-        neg_counts = -sorted_counts  # ascending, for searchsorted
-        for step in range(int(sorted_counts[0])):
-            k = np.searchsorted(neg_counts, -(step + 1), side="right")
-            p = data[starts[:k] + step][:, None]
-            filled = min(step + 1, width - 1)
-            M[:k, 1 : filled + 1] = (
-                M[:k, 1 : filled + 1] * (1.0 - p) + M[:k, :filled] * p
-            )
-            M[:k, 0] *= 1.0 - p[:, 0]
-        X[sorted_vertices] = M
+        dense = rows * steps <= _DENSE_ADDEND_BUDGET
+        if dense:
+            P = np.zeros((rows, steps), dtype=np.float64)
+            P[np.arange(steps)[None, :] < sorted_counts[:, None]] = data[
+                multi_range(starts, sorted_counts)
+            ]
+            PT = np.ascontiguousarray(P.T)
+            QT = 1.0 - PT
+        for step in range(steps):
+            k = int(ks[step])
+            if dense:
+                p = PT[step, :k, None]
+                q = QT[step, :k, None]
+            else:
+                p = data[starts[:k] + step][:, None]
+                q = 1.0 - p
+            filled = min(step + 1, m_width - 1)
+            # Three-dispatch in-place fold: the shifted term X(ω-1)·p is
+            # materialised first, then the whole prefix (column 0
+            # included) scales by 1-p and the shift is added back —
+            # per-element IEEE operations identical to the fused
+            # ``X·(1-p) + X₋₁·p`` / ``X₀·(1-p)`` pair of the scalar DP.
+            shifted = M[:k, :filled] * p
+            prefix = M[:k, : filled + 1]
+            prefix *= q
+            prefix[:, 1:] += shifted
+        X[sorted_vertices, :m_width] = M
 
     clt_vertices = np.flatnonzero(~exact_mask)
     if clt_vertices.size:
-        # Segment moments via prefix sums: μ_v = Σ p, σ²_v = Σ p(1-p).
-        prefix_p = np.concatenate([[0.0], np.cumsum(data)])
-        prefix_pq = np.concatenate([[0.0], np.cumsum(data * (1.0 - data))])
-        lo, hi = indptr[clt_vertices], indptr[clt_vertices + 1]
+        mus, pqs = _segment_moments(
+            data, indptr[clt_vertices], indptr[clt_vertices + 1]
+        )
         X[clt_vertices] = normal_approx_pmf_batch(
-            prefix_p[hi] - prefix_p[lo],
-            prefix_pq[hi] - prefix_pq[lo],
-            counts[clt_vertices],
-            support=width - 1,
+            mus, pqs, counts[clt_vertices], support=width - 1
         )
     return X
+
+
+def _segment_moments(
+    data: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment CLT moments ``μ = Σ p`` and ``σ² = Σ p(1-p)``.
+
+    Each segment is gathered and reduced with a left fold
+    (``np.add.reduceat``) over its own entries only, so a segment's
+    moments are a pure function of its slice of ``data`` — evaluating a
+    *subset* of vertices yields bit-identical values to evaluating all
+    of them.  That row independence (shared with the staircase DP, whose
+    per-element arithmetic never crosses rows) is what lets
+    :class:`IncrementalDegreePosterior` recompute only changed rows and
+    still match a full :func:`degree_posterior_matrix` pass exactly.
+    """
+    counts = hi - lo
+    mus = np.zeros(len(lo), dtype=np.float64)
+    pqs = np.zeros(len(lo), dtype=np.float64)
+    nonempty = np.flatnonzero(counts > 0)
+    if nonempty.size:
+        live = counts[nonempty]
+        gathered = data[multi_range(lo[nonempty], live)]
+        starts = np.cumsum(live) - live
+        mus[nonempty] = np.add.reduceat(gathered, starts)
+        pqs[nonempty] = np.add.reduceat(gathered * (1.0 - gathered), starts)
+    return mus, pqs
+
+
+def _incidence_csr(
+    n: int, us: np.ndarray, vs: np.ndarray, ps: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical incidence CSR of a code-sorted pair list.
+
+    Produces the exact layout of
+    :meth:`repro.uncertain.UncertainGraph.incident_probability_csr`
+    (per vertex: ``us``-side entries in pair order, then ``vs``-side
+    entries in pair order) without sorting the full ``2m`` endpoint
+    array: ``us`` is already non-decreasing when pairs are code-sorted,
+    so only the ``vs`` side needs an argsort and both sides scatter to
+    directly computed destinations.
+
+    Returns ``(counts, indptr, data)``.
+    """
+    m = len(us)
+    counts_us = np.bincount(us, minlength=n)
+    counts_vs = np.bincount(vs, minlength=n)
+    counts = counts_us + counts_vs
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    data = np.empty(2 * m, dtype=np.float64)
+    if m:
+        us_start = np.cumsum(counts_us) - counts_us
+        data[indptr[us] + (np.arange(m) - us_start[us])] = ps
+        # Stable sort of the vs side via one unstable sort of packed
+        # (vertex, position) keys — positions occupy the low bits.
+        pos_bits = max((m - 1).bit_length(), 1)
+        packed = (vs << pos_bits) | np.arange(m)
+        packed.sort()
+        order_vs = packed & ((1 << pos_bits) - 1)
+        vs_sorted = packed >> pos_bits
+        vs_start = np.cumsum(counts_vs) - counts_vs
+        dest_vs = (
+            indptr[vs_sorted]
+            + counts_us[vs_sorted]
+            + (np.arange(m) - vs_start[vs_sorted])
+        )
+        data[dest_vs] = ps[order_vs]
+    return counts, indptr, data
+
+
+def fold_in_bernoulli(rows: np.ndarray, ps: np.ndarray) -> np.ndarray:
+    """One Lemma-1 step per row: add a Bernoulli(``ps[r]``) to row ``r``.
+
+    ``X'(ω) = X(ω)·(1-p) + X(ω-1)·p`` on the retained width — exactly
+    the arithmetic of one :func:`poisson_binomial_pmf_batch` fold step,
+    so folding a probability into a finished DP row is bit-identical to
+    having included it in the original fold (the DP is order-independent
+    up to floating-point; per-column ops here match the batch fold's).
+
+    Parameters
+    ----------
+    rows:
+        ``(r, width)`` matrix of (possibly truncated) DP rows.
+    ps:
+        One Bernoulli success probability per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        New ``(r, width)`` matrix; inputs are not modified.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    ps = np.asarray(ps, dtype=np.float64)
+    if rows.ndim != 2 or ps.shape != (rows.shape[0],):
+        raise ValueError("rows must be (r, width) with one probability per row")
+    if ps.size and (ps.min() < 0.0 or ps.max() > 1.0):
+        raise ValueError("Bernoulli probabilities must lie in [0, 1]")
+    p = ps[:, None]
+    out = np.empty_like(rows)
+    out[:, 1:] = rows[:, 1:] * (1.0 - p) + rows[:, :-1] * p
+    out[:, 0] = rows[:, 0] * (1.0 - ps)
+    return out
+
+
+def fold_out_bernoulli(rows: np.ndarray, ps: np.ndarray) -> np.ndarray:
+    """Inverse Lemma-1 step: remove a Bernoulli(``ps[r]``) from row ``r``.
+
+    Solves the :func:`fold_in_bernoulli` recurrence forward in ω:
+    ``X(0) = X'(0)/(1-p)``, ``X(ω) = (X'(ω) − X(ω-1)·p)/(1-p)`` — valid
+    on truncated rows too, because the forward fold's entry ω depends
+    only on entries ``≤ ω`` (truncation drops tail mass, never mixes it
+    in).  Rounding error grows as ``(p/(1-p))^ω``, so the inversion is
+    numerically trustworthy only for ``p ≤`` :data:`FOLD_OUT_MAX_P`;
+    ``p = 1`` (a certain edge) is not invertible on a truncated row at
+    all and raises.
+
+    Parameters
+    ----------
+    rows:
+        ``(r, width)`` matrix of DP rows that *include* the Bernoullis
+        being removed.
+    ps:
+        One probability per row, each ``< 1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        New ``(r, width)`` matrix; inputs are not modified.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    ps = np.asarray(ps, dtype=np.float64)
+    if rows.ndim != 2 or ps.shape != (rows.shape[0],):
+        raise ValueError("rows must be (r, width) with one probability per row")
+    if ps.size and (ps.min() < 0.0 or ps.max() >= 1.0):
+        raise ValueError("fold-out requires probabilities in [0, 1)")
+    q = (1.0 - ps)[:, None]
+    p = ps[:, None]
+    out = np.empty_like(rows)
+    out[:, 0] = rows[:, 0] / q[:, 0]
+    for omega in range(1, rows.shape[1]):
+        out[:, omega] = (rows[:, omega] - out[:, omega - 1] * p[:, 0]) / q[:, 0]
+    return out
+
+
+class IncrementalDegreePosterior:
+    """``X_v(ω)`` maintained across a sequence of candidate graphs.
+
+    Algorithm 2's attempts (and the σ probes around them) emit a stream
+    of candidate sets that overlap heavily in *structure* — the original
+    edge set always survives — even when most probabilities are redrawn.
+    Instead of rebuilding the whole posterior per attempt, this engine
+    diffs each new candidate set against the previous one at the pair
+    level and touches only vertices with a changed incident entry:
+
+    * vertices whose incident ``(pair, probability)`` multiset is
+      unchanged keep their cached PMF row untouched;
+    * changed vertices are recomputed through the same staircase/CLT
+      passes as :func:`degree_posterior_matrix`.  Those passes are
+      row-independent (see :func:`_segment_moments`), so the selective
+      update is **bit-identical** to a full recompute — the property the
+      seed-equivalence tests of the array engine rely on;
+    * with ``fold=True``, a changed vertex whose diff is small gets its
+      removed Bernoullis folded *out* of the cached row
+      (:func:`fold_out_bernoulli`) and the added ones folded back in —
+      O(width) per changed entry instead of O(ℓ·width) per row — at the
+      cost of ≤1e-12 drift, pinned by the oracle tests.  Rows whose
+      removed entries exceed :data:`FOLD_OUT_MAX_P`, or that enter or
+      leave the exact bucket, are recomputed regardless.
+
+    The returned matrix is owned by the engine and valid until the next
+    update; callers that need persistence must copy.
+    """
+
+    def __init__(
+        self, n: int, *, width: int, method: str = "auto", fold: bool = False
+    ):
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        if method not in ("auto", "exact", "normal"):
+            raise ValueError(f"unknown method {method!r}; use exact/normal/auto")
+        self._n = int(n)
+        self._width = int(width)
+        self._method = method
+        self._fold = bool(fold)
+        self._codes: np.ndarray | None = None  # sorted pair codes
+        self._ps: np.ndarray | None = None  # aligned probabilities
+        self._counts: np.ndarray | None = None  # per-vertex incident counts
+        self._indptr: np.ndarray | None = None  # canonical incidence CSR
+        self._data: np.ndarray | None = None
+        self._X: np.ndarray | None = None
+        #: Update accounting: full rebuilds, rows left untouched, rows
+        #: recomputed, rows updated via fold-out/fold-in.
+        self.stats = {"full": 0, "skipped": 0, "recomputed": 0, "folded": 0}
+
+    @property
+    def matrix(self) -> np.ndarray | None:
+        """The current ``(n, width)`` X matrix (``None`` before any update)."""
+        return self._X
+
+    def update(self, uncertain) -> np.ndarray:
+        """Convenience wrapper: update from an UncertainGraph's pair arrays."""
+        us, vs, ps = uncertain.pair_arrays()
+        return self.update_from_pairs(us, vs, ps)
+
+    def update_from_pairs(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        ps: np.ndarray,
+        *,
+        codes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance the engine to the candidate set ``(us, vs, ps)``.
+
+        Parameters
+        ----------
+        us, vs:
+            Pair endpoints (any order; normalised internally).
+        ps:
+            Pair probabilities in [0, 1]; ``p = 0`` entries are kept, as
+            Algorithm 2's ``keep_zero`` bookkeeping does.
+        codes:
+            Optional precomputed sorted codes ``u·n + v`` (with
+            ``u < v``, strictly increasing) aligned with ``us``/``vs``/
+            ``ps`` — the array candidate builder already has them.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(n, width)`` posterior matrix after the update.
+        """
+        n = self._n
+        if codes is None:
+            us = np.ascontiguousarray(us, dtype=np.int64).ravel()
+            vs = np.ascontiguousarray(vs, dtype=np.int64).ravel()
+            lo = np.minimum(us, vs)
+            hi = np.maximum(us, vs)
+            codes = lo * np.int64(n) + hi
+            order = np.argsort(codes, kind="stable")
+            codes = codes[order]
+            us, vs = lo[order], hi[order]
+            ps = np.ascontiguousarray(ps, dtype=np.float64).ravel()[order]
+        else:
+            codes = np.asarray(codes, dtype=np.int64)
+            us = np.asarray(us, dtype=np.int64)
+            vs = np.asarray(vs, dtype=np.int64)
+            ps = np.asarray(ps, dtype=np.float64)
+        if not (len(us) == len(vs) == len(ps) == len(codes)):
+            raise ValueError("us/vs/ps/codes must have equal lengths")
+        if codes.size:
+            if np.any(np.diff(codes) <= 0):
+                raise ValueError("pair codes must be strictly increasing")
+            if (us == vs).any():
+                raise ValueError("pairs must have distinct endpoints")
+            if us.min() < 0 or vs.max() >= n:
+                raise ValueError(f"vertex ids must lie in [0, {n})")
+            if not ((ps >= 0.0) & (ps <= 1.0)).all():
+                raise ValueError("probabilities must lie in [0, 1]")
+
+        # Canonical incidence CSR — same layout (and hence the same
+        # per-vertex fold order) as incident_probability_csr().
+        counts, indptr, data = _incidence_csr(n, us, vs, ps)
+
+        if self._X is None:
+            self._X = degree_posterior_matrix(
+                indptr, data, method=self._method, width=self._width
+            )
+            self.stats["full"] += 1
+        elif np.array_equal(codes, self._codes):
+            # Identical pair structure: the diff is a plain elementwise
+            # probability comparison, no merge needed.
+            diff = np.flatnonzero(self._ps != ps)
+            if diff.size:
+                self._update_changed(
+                    codes[diff], self._ps[diff], codes[diff], ps[diff],
+                    counts, indptr, data,
+                )
+            else:
+                self.stats["skipped"] += n
+        elif self._mostly_changed(codes, ps):
+            self._X = degree_posterior_matrix(
+                indptr, data, method=self._method, width=self._width, out=self._X
+            )
+            self.stats["full"] += 1
+        else:
+            rem_codes, rem_ps, add_codes, add_ps = self._diff_pairs(codes, ps)
+            self._update_changed(
+                rem_codes, rem_ps, add_codes, add_ps, counts, indptr, data
+            )
+        self._codes, self._ps = codes, ps
+        self._counts, self._indptr, self._data = counts, indptr, data
+        return self._X
+
+    # ------------------------------------------------------------------
+    # diff machinery
+    # ------------------------------------------------------------------
+    def _mostly_changed(self, codes, ps) -> bool:
+        """Subsample shortcut: when no sampled pair carried over with an
+        identical probability, skip the merge bookkeeping and rebuild in
+        one pass.  Purely a heuristic — a full rebuild is bit-identical
+        to a selective recompute, so a wrong guess costs time, never
+        correctness."""
+        old_codes, old_ps = self._codes, self._ps
+        if not len(old_codes) or not len(codes):
+            return True
+        step = max(len(codes) // 32, 1)
+        sample, sample_ps = codes[::step], ps[::step]
+        pos = np.minimum(
+            np.searchsorted(old_codes, sample), len(old_codes) - 1
+        )
+        carried = (old_codes[pos] == sample) & (old_ps[pos] == sample_ps)
+        return not carried.any()
+
+    def _diff_pairs(self, codes, ps):
+        """Symmetric difference vs the previous pair list.
+
+        An entry counts as *carried* only when both its code and its
+        probability are bit-equal; everything else becomes a removed
+        (old) and/or added (new) entry.
+        """
+        old_codes, old_ps = self._codes, self._ps
+        pos = np.searchsorted(old_codes, codes)
+        pos_clip = np.minimum(pos, max(len(old_codes) - 1, 0))
+        if len(old_codes):
+            in_old = (pos < len(old_codes)) & (old_codes[pos_clip] == codes)
+            carried = in_old & (old_ps[pos_clip] == ps)  # bit-equal probability
+        else:
+            carried = np.zeros(len(codes), dtype=bool)
+        added = ~carried
+        matched_old = np.zeros(len(old_codes), dtype=bool)
+        matched_old[pos_clip[carried]] = True
+        removed = ~matched_old
+        return old_codes[removed], old_ps[removed], codes[added], ps[added]
+
+    def _update_changed(
+        self, rem_codes, rem_ps, add_codes, add_ps, counts, indptr, data
+    ) -> None:
+        n = self._n
+        changed = np.zeros(n, dtype=bool)
+        for side in (rem_codes // n, rem_codes % n, add_codes // n, add_codes % n):
+            changed[side] = True
+        n_changed = int(changed.sum())
+        self.stats["skipped"] += n - n_changed
+        if n_changed == 0:
+            return
+
+        fold_mask = np.zeros(n, dtype=bool)
+        if self._fold:
+            fold_mask = self._fold_eligible(
+                changed, counts, rem_codes, rem_ps, add_codes
+            )
+            if fold_mask.any():
+                self._fold_rows(fold_mask, rem_codes, rem_ps, add_codes, add_ps)
+                self.stats["folded"] += int(fold_mask.sum())
+
+        recompute = np.flatnonzero(changed & ~fold_mask)
+        if recompute.size:
+            sub_counts = counts[recompute]
+            sub_indptr = np.zeros(len(recompute) + 1, dtype=np.int64)
+            np.cumsum(sub_counts, out=sub_indptr[1:])
+            sub_data = data[multi_range(indptr[recompute], sub_counts)]
+            self._X[recompute] = degree_posterior_matrix(
+                sub_indptr, sub_data, method=self._method, width=self._width
+            )
+            self.stats["recomputed"] += len(recompute)
+
+    def _fold_eligible(self, changed, counts, rem_codes, rem_ps, add_codes):
+        """Changed vertices whose diff is small, stable, and exact-bucket."""
+        n = self._n
+        rem_count = np.bincount(
+            np.concatenate([rem_codes // n, rem_codes % n]), minlength=n
+        )
+        add_count = np.bincount(
+            np.concatenate([add_codes // n, add_codes % n]), minlength=n
+        )
+        rem_maxp = np.zeros(n, dtype=np.float64)
+        if rem_codes.size:
+            ends = np.concatenate([rem_codes // n, rem_codes % n])
+            np.maximum.at(rem_maxp, ends, np.concatenate([rem_ps, rem_ps]))
+        if self._method == "exact":
+            exactable = np.ones(n, dtype=bool)
+        elif self._method == "normal":
+            exactable = np.zeros(n, dtype=bool)
+        else:
+            exactable = (counts <= AUTO_EXACT_LIMIT) & (
+                self._counts <= AUTO_EXACT_LIMIT
+            )
+        return (
+            changed
+            & exactable
+            & (rem_maxp <= FOLD_OUT_MAX_P)
+            & (rem_count + add_count < counts)
+        )
+
+    def _fold_rows(self, fold_mask, rem_codes, rem_ps, add_codes, add_ps) -> None:
+        """Fold removed entries out of, and added entries into, cached rows."""
+        vertices = np.flatnonzero(fold_mask)
+        index_of = np.full(self._n, -1, dtype=np.int64)
+        index_of[vertices] = np.arange(len(vertices))
+        rows = self._X[vertices]
+        for entry_codes, entry_ps, op in (
+            (rem_codes, rem_ps, fold_out_bernoulli),
+            (add_codes, add_ps, fold_in_bernoulli),
+        ):
+            ends = np.concatenate([entry_codes // self._n, entry_codes % self._n])
+            probs = np.concatenate([entry_ps, entry_ps])
+            keep = fold_mask[ends]
+            ends, probs = ends[keep], probs[keep]
+            if not len(ends):
+                continue
+            rows_idx = index_of[ends]
+            # Staircase over the ragged per-vertex entry lists: vertices
+            # sorted by descending entry count form a shrinking prefix.
+            group_counts = np.bincount(rows_idx, minlength=len(vertices))
+            order = np.argsort(-group_counts, kind="stable")
+            seg_start = np.zeros(len(vertices), dtype=np.int64)
+            np.cumsum(group_counts[order][:-1], out=seg_start[1:])
+            entry_order = np.argsort(
+                np.argsort(order, kind="stable")[rows_idx], kind="stable"
+            )
+            probs = probs[entry_order]
+            sorted_counts = group_counts[order]
+            for step in range(int(sorted_counts.max(initial=0))):
+                k = int(np.searchsorted(-sorted_counts, -(step + 1), side="right"))
+                target = order[:k]
+                rows[target] = op(rows[target], probs[seg_start[:k] + step])
+        self._X[vertices] = rows

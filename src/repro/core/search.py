@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core.generate import generate_obfuscation
+from repro.core.generate import SearchContext, generate_obfuscation
 from repro.core.types import (
     GenerationOutcome,
     ObfuscationParams,
@@ -30,6 +30,7 @@ def obfuscate(
     *,
     params: ObfuscationParams | None = None,
     seed=None,
+    context: SearchContext | None = None,
     **overrides,
 ) -> ObfuscationResult:
     """Compute a minimal-σ (k, ε)-obfuscation of ``graph`` (Algorithm 1).
@@ -47,6 +48,12 @@ def obfuscate(
     seed:
         RNG seed/stream; every Algorithm-2 probe draws from it in
         sequence, so a fixed seed reproduces the entire search.
+    context:
+        Optional :class:`repro.core.generate.SearchContext` to reuse
+        (``obfuscate_with_fallback`` shares one across its ``c``
+        escalations, replaying the doubling ladder's σ values against
+        the memoised uniqueness/Q-weights).  Built internally when
+        omitted.
 
     Returns
     -------
@@ -68,16 +75,19 @@ def obfuscate(
     elif overrides:
         raise TypeError("pass either a params bundle or keyword overrides, not both")
     rng = as_rng(seed)
+    if context is None:
+        context = SearchContext.for_params(graph, params)
     t0 = time.perf_counter()
     trace: list[SearchStep] = []
-    target_pairs = int(round(params.c * graph.num_edges))
     edges_processed = 0
 
     def probe(sigma: float, phase: str) -> GenerationOutcome:
         """One Algorithm-2 evaluation, recorded in the search trace."""
         nonlocal edges_processed
-        outcome = generate_obfuscation(graph, sigma, params, seed=rng)
-        edges_processed += target_pairs * params.attempts
+        outcome = generate_obfuscation(
+            graph, sigma, params, seed=rng, context=context
+        )
+        edges_processed += outcome.pairs_drawn
         trace.append(
             SearchStep(sigma=sigma, eps_achieved=outcome.eps_achieved, phase=phase)
         )
@@ -141,12 +151,19 @@ def obfuscate_with_fallback(
     feasible σ and ``c = 3`` resolved it; this helper automates exactly
     that escalation and records the ``c`` actually used in the returned
     result's ``params``.
+
+    All escalations share one :class:`~repro.core.generate.SearchContext`
+    (``c`` does not enter the per-σ setup), so the second run's doubling
+    ladder replays against memoised uniqueness/Q-weights.
     """
     rng = as_rng(seed)
     result: ObfuscationResult | None = None
+    context: SearchContext | None = None
     for c in c_values:
         params = ObfuscationParams(k=k, eps=eps, c=c, **overrides)
-        result = obfuscate(graph, k, eps, params=params, seed=rng)
+        if context is None:
+            context = SearchContext.for_params(graph, params)
+        result = obfuscate(graph, k, eps, params=params, seed=rng, context=context)
         if result.success:
             return result
     assert result is not None

@@ -43,6 +43,13 @@ class ObfuscationParams:
         Q-sampled by vertex uniqueness and σ is redistributed per Eq. 7;
         ``"uniform"`` — ablation: uniform pair sampling and a flat
         ``σ(e) = σ``, isolating how much the uniqueness targeting buys.
+    engine:
+        Algorithm-2 execution engine.  ``"array"`` (default) builds the
+        candidate set with vectorised toggling and reuses the
+        incremental posterior engine across attempts; ``"sequential"``
+        is the per-draw Python loop kept as pinned ground truth.  Both
+        consume the identical RNG stream, so a fixed seed produces the
+        same candidate sets, obfuscations and search traces on either.
     """
 
     k: float
@@ -55,6 +62,7 @@ class ObfuscationParams:
     sigma_max: float = 128.0
     delta: float = 1e-3
     weighting: str = "uniqueness"
+    engine: str = "array"
 
     def __post_init__(self):
         if self.k < 1:
@@ -75,6 +83,10 @@ class ObfuscationParams:
             raise ValueError(
                 f"weighting must be 'uniqueness' or 'uniform', got {self.weighting!r}"
             )
+        if self.engine not in ("array", "sequential"):
+            raise ValueError(
+                f"engine must be 'array' or 'sequential', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -83,12 +95,22 @@ class GenerationOutcome:
 
     ``eps_achieved`` is ``inf`` when none of the ``t`` attempts met the
     tolerance, mirroring the paper's ``ε̃ = ∞`` sentinel.
+
+    ``attempts_made`` is the 1-based index of the attempt that produced
+    the returned obfuscation (the *winning* attempt), or the total
+    number of attempts executed when every attempt failed.
+
+    ``pairs_drawn`` counts the candidate-pair draws actually consumed by
+    Line 7's Q-sampling across all attempts — including self-pairs,
+    repeats and the unused tail of the final sampling batch — the
+    honest denominator for Table-3 throughput accounting.
     """
 
     eps_achieved: float
     uncertain: UncertainGraph | None
     sigma: float
     attempts_made: int = 0
+    pairs_drawn: int = 0
 
     @property
     def success(self) -> bool:
@@ -127,8 +149,9 @@ class ObfuscationResult:
     trace:
         Every (σ, ε̃) probe in order — doubling phase then bisection.
     edges_processed:
-        Total candidate pairs assigned across all probes (throughput
-        accounting for the Table 3 reproduction).
+        Total candidate-pair draws actually consumed across all probes
+        (the sum of per-probe ``pairs_drawn`` — throughput accounting
+        for the Table 3 reproduction).
     elapsed_seconds:
         Wall-clock time of the whole search.
     """

@@ -42,6 +42,38 @@ def gaussian_kernel(distance: np.ndarray, theta: float) -> np.ndarray:
         return np.exp(-0.5 * z * z)
 
 
+def degree_histogram(degrees: np.ndarray) -> np.ndarray:
+    """Float histogram of a degree sequence (``hist[ω] = #{v: d_v = ω}``).
+
+    The σ-independent half of the commonness computation — Algorithm 1
+    probes many θ = σ values against the *same* degree sequence, so the
+    search context computes this once and re-runs only the O(D²) kernel
+    pass per probe (:func:`degree_commonness_from_histogram`).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if np.any(degrees < 0):
+        raise ValueError("degrees must be non-negative")
+    return np.bincount(degrees, minlength=int(degrees.max()) + 1).astype(
+        np.float64
+    )
+
+
+def degree_commonness_from_histogram(
+    hist: np.ndarray, theta: float
+) -> np.ndarray:
+    """``C_θ(ω)`` for ``ω ∈ {0, ..., D}`` from a precomputed histogram."""
+    hist = np.asarray(hist, dtype=np.float64)
+    if hist.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    omegas = np.arange(len(hist), dtype=np.float64)
+    # Pairwise |ω - ω'| kernel against the histogram: O(D²) with D = max degree.
+    diff = omegas[:, None] - omegas[None, :]
+    kernel = gaussian_kernel(diff, theta)
+    return kernel @ hist
+
+
 def degree_commonness(degrees: np.ndarray, theta: float) -> np.ndarray:
     """``C_θ(ω)`` for every degree value ``ω ∈ {0, ..., max degree}``.
 
@@ -58,18 +90,7 @@ def degree_commonness(degrees: np.ndarray, theta: float) -> np.ndarray:
         ``commonness[ω] = Σ_v exp(-(ω - d_v)²/(2θ²))``, length
         ``max(degrees) + 1``.
     """
-    degrees = np.asarray(degrees, dtype=np.int64)
-    if degrees.size == 0:
-        return np.zeros(0, dtype=np.float64)
-    if np.any(degrees < 0):
-        raise ValueError("degrees must be non-negative")
-    max_deg = int(degrees.max())
-    hist = np.bincount(degrees, minlength=max_deg + 1).astype(np.float64)
-    omegas = np.arange(max_deg + 1, dtype=np.float64)
-    # Pairwise |ω - ω'| kernel against the histogram: O(D²) with D = max degree.
-    diff = omegas[:, None] - omegas[None, :]
-    kernel = gaussian_kernel(diff, theta)
-    return kernel @ hist
+    return degree_commonness_from_histogram(degree_histogram(degrees), theta)
 
 
 def degree_uniqueness(degrees: np.ndarray, theta: float) -> np.ndarray:

@@ -172,6 +172,27 @@ class UncertainGraph:
         ug._arrays = (lo, hi, ps)
         return ug
 
+    @classmethod
+    def _from_trusted_arrays(
+        cls, n: int, us: np.ndarray, vs: np.ndarray, ps: np.ndarray
+    ) -> "UncertainGraph":
+        """Zero-validation constructor for callers that own their arrays.
+
+        The Algorithm-2 array engine builds candidate sets whose pair
+        arrays are sorted, duplicate-free, ``u < v``-ordered and
+        in-range by construction, and whose probability buffer is fresh
+        — re-validating (and re-copying) them per winning attempt is
+        pure overhead.  The arrays are frozen in place, so the caller
+        must not mutate them afterwards.  Everyone else should use
+        :meth:`from_arrays`.
+        """
+        ug = cls(n)
+        ug._probs = None
+        for arr in (us, vs, ps):
+            arr.setflags(write=False)
+        ug._arrays = (us, vs, ps)
+        return ug
+
     def copy(self) -> "UncertainGraph":
         """Deep copy (caches are shared copy-on-write where immutable)."""
         ug = UncertainGraph(self._n)

@@ -1,0 +1,288 @@
+"""Incremental posterior engine: fold-out oracle + diff correctness (PR 4).
+
+The full :func:`repro.core.degree_posterior_matrix` recompute is the
+equivalence oracle throughout: fold-out/fold-in updates must agree with
+it to 1e-12, and the diff-driven selective recompute must agree with it
+*bit-for-bit* (row independence of the staircase/CLT passes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.degree_distribution import AUTO_EXACT_LIMIT
+from repro.core.generate import generate_obfuscation
+from repro.core.posterior_batch import (
+    IncrementalDegreePosterior,
+    degree_posterior_matrix,
+    fold_in_bernoulli,
+    fold_out_bernoulli,
+    poisson_binomial_pmf_batch,
+)
+from repro.core.types import ObfuscationParams
+from repro.graphs.generators import erdos_renyi
+from repro.uncertain.graph import UncertainGraph
+
+ATOL = 1e-12
+
+
+def _csr(n, us, vs, ps):
+    """Canonical incidence CSR of the *code-sorted* pair list — the
+    normal form the engine reduces every input to."""
+    order = np.argsort(us * n + vs, kind="stable")
+    us, vs, ps = us[order], vs[order], ps[order]
+    endpoints = np.concatenate([us, vs])
+    dup = np.concatenate([ps, ps])
+    counts = np.bincount(endpoints, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dup[np.argsort(endpoints, kind="stable")]
+
+
+def _random_pairs(rng, n, m):
+    codes = np.sort(rng.choice(n * (n - 1) // 2, size=m, replace=False))
+    # decode the triangular index
+    us = np.empty(m, dtype=np.int64)
+    vs = np.empty(m, dtype=np.int64)
+    for i, c in enumerate(codes.tolist()):
+        u = 0
+        while c >= n - 1 - u:
+            c -= n - 1 - u
+            u += 1
+        us[i], vs[i] = u, u + 1 + c
+    return us, vs
+
+
+class TestFoldFunctions:
+    def test_fold_in_matches_batch_dp(self, rng):
+        """Folding the last addend into a finished row is bit-identical
+        to having included it in the DP from the start."""
+        P = rng.random((6, 9))
+        full = poisson_binomial_pmf_batch(P, support=9)
+        partial = poisson_binomial_pmf_batch(P[:, :-1], support=9)
+        np.testing.assert_array_equal(
+            fold_in_bernoulli(partial, P[:, -1]), full
+        )
+
+    def test_fold_out_inverts_fold_in(self, rng):
+        rows = poisson_binomial_pmf_batch(rng.random((8, 14)), support=10)
+        ps = rng.random(8) * 0.5
+        round_trip = fold_out_bernoulli(fold_in_bernoulli(rows, ps), ps)
+        np.testing.assert_allclose(round_trip, rows, atol=ATOL, rtol=0)
+
+    def test_fold_out_vs_full_dp(self, rng):
+        """Removing an addend from the DP row ≈ DP without it (≤1e-12)."""
+        P = rng.random((5, 12)) * 0.5
+        full = poisson_binomial_pmf_batch(P, support=12)
+        without = poisson_binomial_pmf_batch(P[:, :-1], support=12)
+        np.testing.assert_allclose(
+            fold_out_bernoulli(full, P[:, -1]), without, atol=ATOL, rtol=0
+        )
+
+    def test_fold_out_truncated_rows(self, rng):
+        """The inverse fold is exact on width-truncated rows too."""
+        P = rng.random((5, 20)) * 0.5
+        full = poisson_binomial_pmf_batch(P, support=7)  # heavy truncation
+        without = poisson_binomial_pmf_batch(P[:, :-1], support=7)
+        np.testing.assert_allclose(
+            fold_out_bernoulli(full, P[:, -1]), without, atol=ATOL, rtol=0
+        )
+
+    def test_fold_out_zero_probability_is_identity(self, rng):
+        """The removed-edge path: p = 0 entries fold out exactly."""
+        rows = poisson_binomial_pmf_batch(rng.random((4, 6)), support=6)
+        np.testing.assert_array_equal(
+            fold_out_bernoulli(rows, np.zeros(4)), rows
+        )
+
+    def test_fold_out_certain_edge_rejected(self):
+        rows = np.array([[0.0, 1.0]])
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            fold_out_bernoulli(rows, np.array([1.0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fold_in_bernoulli(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            fold_in_bernoulli(np.zeros((2, 3)), np.zeros(3))
+
+
+class TestRowIndependence:
+    """Sub-CSR recompute == full compute, bit-for-bit, for every method."""
+
+    @pytest.mark.parametrize("method", ["exact", "normal", "auto"])
+    def test_subset_rows_bit_identical(self, method, rng):
+        n = 40
+        us, vs = _random_pairs(rng, n, 150)
+        ps = rng.random(150)
+        indptr, data = _csr(n, us, vs, ps)
+        width = 12
+        full = degree_posterior_matrix(indptr, data, method=method, width=width)
+        subset = rng.choice(n, size=15, replace=False)
+        counts = np.diff(indptr)[subset]
+        sub_indptr = np.zeros(len(subset) + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        sub_data = np.concatenate(
+            [data[indptr[v] : indptr[v] + c] for v, c in zip(subset, counts)]
+        ) if counts.sum() else np.empty(0)
+        rows = degree_posterior_matrix(
+            sub_indptr, sub_data, method=method, width=width
+        )
+        np.testing.assert_array_equal(rows, full[subset])
+
+    def test_streamed_addend_path_bit_identical(self, rng, monkeypatch):
+        """Above the dense-pad budget (forced-exact on skewed graphs)
+        the DP streams addend columns from the CSR — same bits."""
+        import repro.core.posterior_batch as pb
+
+        n = 40
+        us, vs = _random_pairs(rng, n, 180)
+        ps = rng.random(180)
+        indptr, data = _csr(n, us, vs, ps)
+        dense = degree_posterior_matrix(indptr, data, method="exact", width=10)
+        monkeypatch.setattr(pb, "_DENSE_ADDEND_BUDGET", 0)
+        streamed = degree_posterior_matrix(indptr, data, method="exact", width=10)
+        np.testing.assert_array_equal(streamed, dense)
+
+    def test_out_buffer_reuse(self, rng):
+        n = 25
+        us, vs = _random_pairs(rng, n, 60)
+        ps = rng.random(60)
+        indptr, data = _csr(n, us, vs, ps)
+        fresh = degree_posterior_matrix(indptr, data, width=9)
+        buf = np.full((n, 9), 7.0)  # stale garbage must be cleared
+        reused = degree_posterior_matrix(indptr, data, width=9, out=buf)
+        assert reused is buf
+        np.testing.assert_array_equal(reused, fresh)
+
+    def test_out_buffer_shape_checked(self, rng):
+        with pytest.raises(ValueError, match="out"):
+            degree_posterior_matrix(
+                np.array([0, 0]), np.empty(0), width=3, out=np.zeros((1, 4))
+            )
+
+
+def _mutate(rng, n, us, vs, ps, *, zero_some=False):
+    """Drop, reweight and add pairs — the shape of attempt-to-attempt churn."""
+    keep = rng.random(len(us)) > 0.15
+    us, vs, ps = us[keep], vs[keep], ps[keep].copy()
+    touch = rng.random(len(us)) < 0.4
+    ps[touch] = rng.random(int(touch.sum()))
+    if zero_some and len(ps):
+        ps[rng.integers(0, len(ps))] = 0.0  # removed-edge bookkeeping entry
+    au, av = _random_pairs(rng, n, 12)
+    fresh = ~np.isin(au * n + av, us * n + vs)
+    return (
+        np.concatenate([us, au[fresh]]),
+        np.concatenate([vs, av[fresh]]),
+        np.concatenate([ps, rng.random(int(fresh.sum()))]),
+    )
+
+
+class TestIncrementalEngine:
+    @pytest.mark.parametrize("method", ["exact", "auto", "normal"])
+    def test_exact_mode_bit_identical_to_full(self, method, rng):
+        """fold=False: every update equals a fresh full compute exactly."""
+        n, width = 50, 11
+        engine = IncrementalDegreePosterior(n, width=width, method=method)
+        us, vs = _random_pairs(rng, n, 120)
+        ps = rng.random(120)
+        for _ in range(6):
+            X = engine.update_from_pairs(us, vs, ps)
+            indptr, data = _csr(n, us, vs, ps)
+            ref = degree_posterior_matrix(indptr, data, method=method, width=width)
+            np.testing.assert_array_equal(X, ref)
+            us, vs, ps = _mutate(rng, n, us, vs, ps, zero_some=True)
+
+    def test_fold_mode_within_oracle_tolerance(self, rng):
+        """fold=True: ≤1e-12 vs the full recompute oracle, folds engage."""
+        n, width = 50, 11
+        engine = IncrementalDegreePosterior(n, width=width, fold=True)
+        us, vs = _random_pairs(rng, n, 120)
+        ps = rng.random(120) * 0.5  # keep fold-out well-conditioned
+        for _ in range(8):
+            X = engine.update_from_pairs(us, vs, ps)
+            indptr, data = _csr(n, us, vs, ps)
+            ref = degree_posterior_matrix(indptr, data, width=width)
+            np.testing.assert_allclose(X, ref, atol=ATOL, rtol=0)
+            # small diffs: reweight a handful of pairs only
+            ps = ps.copy()
+            touch = rng.choice(len(ps), size=5, replace=False)
+            ps[touch] = rng.random(5) * 0.5
+        assert engine.stats["folded"] > 0
+        assert engine.stats["skipped"] > 0
+
+    def test_unchanged_update_skips_everything(self, rng):
+        n = 30
+        us, vs = _random_pairs(rng, n, 70)
+        ps = rng.random(70)
+        engine = IncrementalDegreePosterior(n, width=8)
+        first = engine.update_from_pairs(us, vs, ps).copy()
+        again = engine.update_from_pairs(us, vs, ps)
+        np.testing.assert_array_equal(again, first)
+        assert engine.stats["skipped"] >= n
+        assert engine.stats["recomputed"] == 0
+
+    def test_update_from_uncertain_graph(self, fig1b):
+        engine = IncrementalDegreePosterior(4, width=4)
+        X = engine.update(fig1b)
+        indptr, data = fig1b.incident_probability_csr()
+        ref = degree_posterior_matrix(indptr, data, width=4)
+        np.testing.assert_array_equal(X, ref)
+
+    def test_white_noise_and_removed_edge_paths(self):
+        """Engine tracks real Algorithm-2 attempt streams: q-white-noise
+        perturbations and p=0 removed-edge entries included."""
+        graph = erdos_renyi(60, 0.12, seed=3)
+        params = ObfuscationParams(k=1, eps=0.9, q=0.3, attempts=1)
+        engine = IncrementalDegreePosterior(
+            60, width=int(graph.degrees().max()) + 2, fold=True
+        )
+        for seed in range(4):
+            for sigma in (0.0, 0.4):  # σ=0 exercises exact p ∈ {0, 1} folds
+                out = generate_obfuscation(graph, sigma, params, seed=seed)
+                us, vs, ps = out.uncertain.pair_arrays()
+                X = engine.update_from_pairs(us, vs, ps)
+                indptr, data = _csr(60, us, vs, ps)
+                ref = degree_posterior_matrix(
+                    indptr, data, width=engine._width
+                )
+                np.testing.assert_allclose(X, ref, atol=ATOL, rtol=0)
+
+    def test_rows_crossing_exact_limit_recomputed(self, rng):
+        """auto mode: a vertex crossing AUTO_EXACT_LIMIT switches bucket
+        and must be recomputed, not folded."""
+        n = AUTO_EXACT_LIMIT + 10
+        hub = 0
+        others = np.arange(1, AUTO_EXACT_LIMIT + 1)
+        us = np.full(len(others), hub)
+        ps = rng.random(len(others))
+        engine = IncrementalDegreePosterior(n, width=6, fold=True)
+        engine.update_from_pairs(us, others, ps)
+        # push the hub over the exact limit
+        us2 = np.concatenate([us, [hub]])
+        vs2 = np.concatenate([others, [AUTO_EXACT_LIMIT + 5]])
+        ps2 = np.concatenate([ps, [0.4]])
+        X = engine.update_from_pairs(us2, vs2, ps2)
+        indptr, data = _csr(n, us2, vs2, ps2)
+        ref = degree_posterior_matrix(indptr, data, width=6)
+        np.testing.assert_array_equal(X, ref)
+
+    def test_input_validation(self):
+        engine = IncrementalDegreePosterior(5, width=3)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            engine.update_from_pairs(
+                np.array([0, 0]),
+                np.array([1, 1]),
+                np.array([0.5, 0.5]),
+                codes=np.array([1, 1]),
+            )
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            engine.update_from_pairs(
+                np.array([0]), np.array([1]), np.array([1.5])
+            )
+        with pytest.raises(ValueError):
+            IncrementalDegreePosterior(5, width=0)
+        with pytest.raises(ValueError):
+            IncrementalDegreePosterior(5, width=3, method="bogus")
