@@ -62,6 +62,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Algorithm-2 engine: vectorised 'array' (default) or the "
         "per-draw 'sequential' ground truth (same seed, same result)",
     )
+    p.add_argument(
+        "--stream",
+        default="pair_keyed",
+        choices=("pair_keyed", "attempt"),
+        help="perturbation randomness: 'pair_keyed' (default) derives "
+        "each pair's draw from a counter-based substream so the "
+        "incremental posterior can fold across attempts; 'attempt' is "
+        "the historical redraw-everything stream (pinned ground truth)",
+    )
 
     p = sub.add_parser("verify", help="check Definition 2 on a release")
     p.add_argument("--original", required=True, help="edge-list file of G")
@@ -159,6 +168,7 @@ def _cmd_obfuscate(args) -> int:
         attempts=args.attempts,
         delta=args.delta,
         engine=args.engine,
+        stream=args.stream,
     )
     if not result.success:
         print(

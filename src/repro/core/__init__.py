@@ -12,8 +12,10 @@ Submodules map onto the paper's sections:
 
 from repro.core.degree_distribution import (
     AUTO_EXACT_LIMIT,
+    ERF_RATIONAL_MAX_ABS_ERROR,
     degree_pmf,
     erf_array,
+    erf_rational,
     normal_approx_pmf,
     poisson_binomial_mean_var,
     poisson_binomial_pmf,
@@ -48,11 +50,17 @@ from repro.core.posterior_batch import (
     poisson_binomial_pmf_batch,
 )
 from repro.core.perturbation import (
+    erfinv_array,
+    erfinv_newton,
+    pair_stream_uniforms,
+    perturbations_from_uniforms,
     sample_perturbation,
     sample_perturbations,
+    sample_perturbations_inverse,
     truncated_normal_cdf,
     truncated_normal_mean,
     truncated_normal_pdf,
+    truncated_normal_ppf,
 )
 from repro.core.search import obfuscate, obfuscate_with_fallback
 from repro.core.types import (
@@ -68,6 +76,7 @@ from repro.core.uniqueness import (
     pair_uniqueness,
     property_commonness,
     redistribute_sigma,
+    redistribute_sigma_invariant,
 )
 
 __all__ = [
@@ -79,6 +88,8 @@ __all__ = [
     "degree_pmf",
     "degree_posterior_matrix",
     "erf_array",
+    "erf_rational",
+    "ERF_RATIONAL_MAX_ABS_ERROR",
     "poisson_binomial_mean_var",
     "DegreePosterior",
     "SampledPropertyPosterior",
@@ -95,11 +106,18 @@ __all__ = [
     "property_commonness",
     "pair_uniqueness",
     "redistribute_sigma",
+    "redistribute_sigma_invariant",
     "truncated_normal_pdf",
     "truncated_normal_cdf",
     "truncated_normal_mean",
+    "truncated_normal_ppf",
+    "erfinv_array",
+    "erfinv_newton",
+    "pair_stream_uniforms",
+    "perturbations_from_uniforms",
     "sample_perturbation",
     "sample_perturbations",
+    "sample_perturbations_inverse",
     "generate_obfuscation",
     "select_excluded_vertices",
     "CandidateStallError",

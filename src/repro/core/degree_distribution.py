@@ -31,17 +31,54 @@ AUTO_EXACT_LIMIT = 64
 
 _SQRT2 = math.sqrt(2.0)
 
-try:  # SciPy ships a C-loop erf ufunc; the stdlib fallback keeps the
+#: Maximum absolute error of :func:`erf_rational` (Abramowitz–Stegun
+#: 7.1.26); the fallback tests pin against SciPy at this bound.
+ERF_RATIONAL_MAX_ABS_ERROR = 1.5e-7
+
+# A&S 7.1.26 coefficients: erf(x) ≈ 1 − (a₁t + … + a₅t⁵)·e^{−x²} with
+# t = 1/(1 + p·x) for x ≥ 0, |error| ≤ 1.5e-7.
+_AS_P = 0.3275911
+_AS_COEFFS = (1.061405429, -1.453152027, 1.421413741, -0.284496736, 0.254829592)
+
+
+def erf_rational(x: np.ndarray) -> np.ndarray:
+    """Vectorised rational ``erf`` approximation (A&S 7.1.26, ≤1.5e-7).
+
+    The no-SciPy fallback behind :func:`erf_array`: a Horner evaluation
+    in ``t = 1/(1 + p·|x|)`` plus one ``exp`` — a handful of float64
+    array passes instead of the former ``np.frompyfunc(math.erf)``
+    object loop, whose per-element Python calls made the batched CLT
+    posterior (and with it the incremental fold path) fall off a cliff
+    on SciPy-less installs.  Odd symmetry handles negative inputs;
+    ``±inf`` maps to ``±1`` and NaN propagates.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    a = np.abs(x)
+    t = 1.0 / (1.0 + _AS_P * a)
+    poly = np.full_like(t, _AS_COEFFS[0])
+    for coeff in _AS_COEFFS[1:]:
+        poly = poly * t + coeff
+    with np.errstate(under="ignore"):
+        # a = inf gives exp(-inf) = 0 → erf(±inf) = ±1 without a mask.
+        magnitude = 1.0 - poly * t * np.exp(-(a * a))
+    return np.copysign(magnitude, x)
+
+
+try:  # SciPy ships a C-loop erf ufunc; the rational fallback keeps the
     from scipy.special import erf as _erf_ufunc  # dependency optional.
 except ImportError:  # pragma: no cover - exercised only without scipy
-    _erf_obj = np.frompyfunc(math.erf, 1, 1)
-
-    def _erf_ufunc(x):
-        return _erf_obj(x).astype(np.float64)
+    _erf_ufunc = erf_rational
 
 
 def erf_array(x: np.ndarray) -> np.ndarray:
-    """Elementwise ``erf`` over an array (SciPy ufunc when available)."""
+    """Elementwise ``erf`` over an array (SciPy ufunc when available).
+
+    Without SciPy the call lands on :func:`erf_rational` (A&S 7.1.26,
+    ≤1.5e-7 absolute) — accurate enough for the CLT degree posterior,
+    whose continuity-corrected bins are themselves an O(1/√ℓ)
+    approximation, and ~100× faster than the former ``math.erf`` object
+    loop.
+    """
     return np.asarray(_erf_ufunc(x), dtype=np.float64)
 
 

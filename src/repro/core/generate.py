@@ -32,6 +32,31 @@ Two execution engines share this module (``ObfuscationParams.engine``):
 Both engines consume the *same* RNG stream call-for-call, so a fixed
 seed produces bit-identical candidate sets, released graphs and search
 traces on either — the property the seed-equivalence tests pin.
+
+Orthogonally, ``ObfuscationParams.stream`` selects where the
+*perturbation* randomness comes from:
+
+* ``"pair_keyed"`` (default) — one master key is drawn per Algorithm-2
+  call and every pair's ``R_σ(e)`` uniform, white-noise coin and
+  white-noise value come from counter-based substreams keyed by the
+  pair code (:func:`repro.core.perturbation.pair_stream_uniforms`),
+  sampled through the inverse CDF in a single pass.  σ(e) uses the
+  candidate-set-independent Eq. 7 normaliser
+  (:func:`repro.core.uniqueness.redistribute_sigma_invariant`), so a
+  pair's probability is a pure function of ``(key, pair code, σ)``:
+  pairs shared between attempts keep bit-equal probabilities and the
+  incremental posterior serves their rows from cache or by
+  fold-out/fold-in instead of re-running the Lemma-1 DP.
+* ``"attempt"`` — the historical mode: every attempt redraws all pairs
+  from the shared sequential stream (rejection sampling, empirical
+  Eq. 7 normaliser).  Bit-identical to the pre-substream engine at a
+  fixed seed; kept as pinned ground truth for the documented stream
+  change.
+
+Both streams are deterministic and engine-independent (array and
+sequential agree pair-for-pair under either; the array fold path may
+drift ≤1e-12 from the sequential full recompute, which the
+stream-equivalence tests bound).
 """
 
 from __future__ import annotations
@@ -40,20 +65,39 @@ import math
 
 import numpy as np
 
+from repro.core.degree_distribution import AUTO_EXACT_LIMIT
 from repro.core.obfuscation_check import (
     DegreePosterior,
+    column_mass_stack,
     compute_degree_posterior,
+    entropies_from_column_mass,
 )
-from repro.core.perturbation import sample_perturbations
-from repro.core.posterior_batch import IncrementalDegreePosterior
+from repro.core.perturbation import (
+    PAIR_SUBSTREAM_PERTURBATION,
+    PAIR_SUBSTREAM_WHITE_MASK,
+    PAIR_SUBSTREAM_WHITE_VALUE,
+    pair_stream_uniforms,
+    perturbations_from_uniforms,
+    sample_perturbations,
+)
+from repro.core.posterior_batch import (
+    IncrementalDegreePosterior,
+    _incidence_csr,
+    _segment_moments,
+    degree_posterior_matrix,
+    fold_in_staircase,
+    normal_approx_pmf_batch,
+)
 from repro.core.types import GenerationOutcome, ObfuscationParams
 from repro.core.uniqueness import (
     degree_commonness_from_histogram,
     degree_histogram,
     pair_uniqueness,
     redistribute_sigma,
+    redistribute_sigma_invariant,
 )
 from repro.graphs.graph import Graph
+from repro.graphs.traversal import multi_range
 from repro.uncertain.graph import UncertainGraph
 from repro.utils.rng import as_rng
 
@@ -70,16 +114,10 @@ _BATCH = 8192
 #: requested ``c`` and we raise instead of spinning.
 _MAX_DRAW_FACTOR = 200
 
-#: Bits reserved for the within-batch draw position in the packed
-#: (code, position) sort keys of :func:`_build_candidate_codes`.
-_POS_BITS = (_BATCH - 1).bit_length()
-_POS_MASK = (1 << _POS_BITS) - 1
-
-#: Largest vertex count for which ``code << _POS_BITS`` stays inside
-#: int64 (codes reach n² − 1, so n² · 2^_POS_BITS must be < 2⁶³);
-#: beyond it the builder falls back to ``np.unique`` for the
-#: first-occurrence collapse instead of silently overflowing.
-_PACK_SAFE_VERTICES = 1 << ((63 - _POS_BITS) // 2)
+# (The packed (code, position) sort keys of _build_candidate_codes
+# reserve position bits per call, since the pair_keyed stream may scale
+# the batch; the np.unique fallback guards vertex counts large enough
+# for the shifted codes to overflow int64.)
 
 
 class WeightedVertexSampler:
@@ -211,12 +249,33 @@ def _merge_sorted_disjoint(
     return out
 
 
+def _candidate_batch_size(target_size: int, m: int, stream: str) -> int:
+    """Q-sampling batch size for one candidate build.
+
+    The ``attempt`` stream is pinned to :data:`_BATCH` (its draw
+    pattern is part of the PR-4 bit-identity contract).  The
+    ``pair_keyed`` stream — a documented stream change — scales the
+    batch to the net additions the build needs (plus 12.5% slack for
+    self-pairs, repeats and removals, capped at 8×), so large graphs
+    finish in one batch instead of paying the toggle bookkeeping per
+    8192-pair slice.  Both engines derive the size from the same
+    inputs, so their streams stay aligned.
+    """
+    if stream != "pair_keyed":
+        return _BATCH
+    needed = max(target_size - m, 1)
+    slack = needed + needed // 8
+    return min(-(-slack // _BATCH), 8) * _BATCH
+
+
 def _build_candidate_set(
     n: int,
     edge_set: set[tuple[int, int]],
     target_size: int,
     q_probs: np.ndarray,
     rng: np.random.Generator,
+    *,
+    batch_size: int = _BATCH,
 ) -> tuple[set[tuple[int, int]], int]:
     """Lines 6–12 of Algorithm 2: grow E_C from E by Q-weighted toggles.
 
@@ -235,8 +294,8 @@ def _build_candidate_set(
             raise CandidateStallError(
                 _stall_message(target_size, draws_used), draws_used // 2
             )
-        batch = rng.choice(n, size=2 * _BATCH, p=q_probs, replace=True)
-        draws_used += 2 * _BATCH
+        batch = rng.choice(n, size=2 * batch_size, p=q_probs, replace=True)
+        draws_used += 2 * batch_size
         for i in range(0, len(batch), 2):
             u, v = int(batch[i]), int(batch[i + 1])
             if u == v:
@@ -257,7 +316,9 @@ def _build_candidate_codes(
     target_size: int,
     sampler: WeightedVertexSampler,
     rng: np.random.Generator,
-) -> tuple[np.ndarray, np.ndarray, int]:
+    *,
+    batch_size: int = _BATCH,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Vectorised Lines 6–12: same RNG stream, identical candidate set.
 
     Each ``rng.choice`` batch (the very call the sequential builder
@@ -271,14 +332,18 @@ def _build_candidate_codes(
 
     Returns
     -------
-    (codes, is_edge, draws_used):
+    (codes, is_edge, removed, draws_used):
         Sorted candidate pair codes, a parallel mask marking original
-        edges, and the number of scalar draws consumed — bit-identical,
+        edges, the sorted codes of edges toggled *out* of the candidate
+        set, and the number of scalar draws consumed — bit-identical,
         draw-for-draw, to :func:`_build_candidate_set` at the same RNG
-        state (pinned by the seed-equivalence tests).
+        state and batch size (pinned by the seed-equivalence tests).
     """
     m = len(edge_codes)
     max_draws = max(_MAX_DRAW_FACTOR * max(target_size, 1), 10_000)
+    pos_bits = max((batch_size - 1).bit_length(), 1)
+    pos_mask = (1 << pos_bits) - 1
+    pack_safe = 1 << ((63 - pos_bits) // 2)
     draws_used = 0
     size = m
     toggled = np.empty(0, dtype=np.int64)  # sorted codes already toggled
@@ -289,8 +354,8 @@ def _build_candidate_codes(
             raise CandidateStallError(
                 _stall_message(target_size, draws_used), draws_used // 2
             )
-        batch = sampler.sample(rng, 2 * _BATCH)
-        draws_used += 2 * _BATCH
+        batch = sampler.sample(rng, 2 * batch_size)
+        draws_used += 2 * batch_size
         us, vs = batch[0::2], batch[1::2]
         valid = np.flatnonzero(us != vs)
         if not valid.size:
@@ -300,23 +365,23 @@ def _build_candidate_codes(
         )
         # First occurrence of each code in draw order, via one unstable
         # sort of packed (code, position) keys: ``valid`` holds indices
-        # into the _BATCH-long pair arrays, so positions are < _BATCH
-        # and fit in the low _POS_BITS bits.  Sorting the packed key
+        # into the batch-long pair arrays, so positions are < batch_size
+        # and fit in the low pos_bits bits.  Sorting the packed key
         # groups equal codes with their draw positions ascending — the
         # group head is the first occurrence.  ~2× faster than
         # np.unique's stable mergesort for the same result, which stays
         # as the fallback when n is large enough for the shifted codes
         # to overflow int64.
-        if n <= _PACK_SAFE_VERTICES:
-            packed = (codes << _POS_BITS) | valid
+        if n <= pack_safe:
+            packed = (codes << pos_bits) | valid
             packed.sort()
             head = np.empty(len(packed), dtype=bool)
             head[0] = True
             np.not_equal(
-                packed[1:] >> _POS_BITS, packed[:-1] >> _POS_BITS, out=head[1:]
+                packed[1:] >> pos_bits, packed[:-1] >> pos_bits, out=head[1:]
             )
             heads = packed[head]
-            uniq, first_idx = heads >> _POS_BITS, heads & _POS_MASK
+            uniq, first_idx = heads >> pos_bits, heads & pos_mask
         else:
             uniq, first_idx = np.unique(codes, return_index=True)
             first_idx = valid[first_idx]
@@ -340,19 +405,23 @@ def _build_candidate_codes(
         if size != target_size:
             toggled = _merge_sorted_disjoint(toggled, np.sort(eff_codes))
 
-    if removed_parts:
-        removed = np.concatenate(removed_parts)
+    removed = np.concatenate(removed_parts) if removed_parts else np.empty(
+        0, dtype=np.int64
+    )
+    if removed.size:
         removed.sort()
         kept = edge_codes[~_sorted_contains(removed, edge_codes)]
+    else:
+        kept = edge_codes
+    if added_parts:
         added = np.concatenate(added_parts)
         added.sort()
     else:
-        kept = edge_codes
         added = np.empty(0, dtype=np.int64)
     codes, added_dest = _merge_sorted_disjoint(kept, added, return_positions=True)
     is_edge = np.ones(len(codes), dtype=bool)
     is_edge[added_dest] = False
-    return codes, is_edge, draws_used
+    return codes, is_edge, removed, draws_used
 
 
 class SigmaSetup:
@@ -370,6 +439,11 @@ class SigmaSetup:
     available_additions:
         Number of non-edges with both endpoints outside ``H`` — the
         feasibility headroom for the ``|E_C| = c·|E|`` target.
+    q_mean_uniqueness:
+        ``μ_Q = Σ_v Q(v)·U_σ(P(v))`` — the expected uniqueness of a
+        Q-sampled endpoint, the candidate-set-independent Eq. 7
+        normaliser of the ``pair_keyed`` perturbation stream
+        (:func:`repro.core.uniqueness.redistribute_sigma_invariant`).
     sampler:
         The table-accelerated Q sampler
         (:class:`WeightedVertexSampler`) the array builder draws
@@ -382,14 +456,23 @@ class SigmaSetup:
         "excluded",
         "q_probs",
         "available_additions",
+        "q_mean_uniqueness",
         "_sampler",
     )
 
-    def __init__(self, uniqueness, excluded, q_probs, available_additions):
+    def __init__(
+        self,
+        uniqueness,
+        excluded,
+        q_probs,
+        available_additions,
+        q_mean_uniqueness,
+    ):
         self.uniqueness = uniqueness
         self.excluded = excluded
         self.q_probs = q_probs
         self.available_additions = available_additions
+        self.q_mean_uniqueness = q_mean_uniqueness
         self._sampler: WeightedVertexSampler | None = None
 
     @property
@@ -443,7 +526,12 @@ class SearchContext:
         )
         self._edge_set: set[tuple[int, int]] | None = None
         self._setups: dict[float, SigmaSetup] = {}
-        self._posterior_engine: IncrementalDegreePosterior | None = None
+        self._posterior_engines: dict[bool, IncrementalDegreePosterior] = {}
+        self._edge_incidence: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Per-vertex multiplicity of each distinct degree — turns the
+        # per-attempt "count under-obfuscated vertices" gather into a
+        # |distinct|-long weighted sum.
+        self.degree_multiplicity = np.bincount(self.degree_inverse)
 
     @classmethod
     def for_params(cls, graph: Graph, params: ObfuscationParams) -> "SearchContext":
@@ -476,18 +564,49 @@ class SearchContext:
             self._edge_set = self.graph.edge_set()
         return self._edge_set
 
-    def posterior_engine(self) -> IncrementalDegreePosterior:
-        """The shared incremental posterior engine (array engine only).
+    def edge_incidence(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical edge-incidence CSR *structure*, σ-independent.
 
-        ``fold=False``: changed rows are recomputed through the
-        row-independent staircase/CLT passes, keeping the array engine
-        bit-identical to the sequential one at every attempt.
+        Returns ``(counts, indptr, entry_pair)`` where ``entry_pair``
+        maps each CSR slot to the edge index whose probability occupies
+        it — the layout of
+        :func:`repro.core.posterior_batch._incidence_csr` with the data
+        replaced by provenance.  The ``pair_keyed`` probe path fills the
+        per-probe data with a single gather ``p_edge[entry_pair]``
+        instead of re-running the scatter every probe.
         """
-        if self._posterior_engine is None:
-            self._posterior_engine = IncrementalDegreePosterior(
-                self.n, width=self.width, method=self.method, fold=False
+        if self._edge_incidence is None:
+            m = len(self.edge_codes)
+            counts, indptr, slots = _incidence_csr(
+                self.n,
+                self._edge_us,
+                self._edge_vs,
+                np.arange(m, dtype=np.float64),
             )
-        return self._posterior_engine
+            self._edge_incidence = (counts, indptr, slots.astype(np.int64))
+        return self._edge_incidence
+
+    def posterior_engine(self, *, fold: bool = False) -> IncrementalDegreePosterior:
+        """The shared incremental posterior engine (attempt-stream array path).
+
+        One engine per fold mode, memoised for the context's lifetime
+        so its cached state persists across attempts, probes and ``c``
+        escalations.  The attempt stream uses ``fold=False``: changed
+        rows are recomputed through the row-independent staircase/CLT
+        passes, keeping the array engine bit-identical to the
+        sequential one at every attempt.  (The ``pair_keyed`` stream
+        does not route through this engine at all — its probe-batched
+        base/fold path lives in :func:`_generate_pair_keyed_array`;
+        ``fold=True`` remains available for callers that drive the
+        incremental engine directly.)
+        """
+        engine = self._posterior_engines.get(fold)
+        if engine is None:
+            engine = IncrementalDegreePosterior(
+                self.n, width=self.width, method=self.method, fold=fold
+            )
+            self._posterior_engines[fold] = engine
+        return engine
 
     def sigma_setup(self, sigma: float) -> SigmaSetup:
         """Memoised per-σ setup (uniqueness, H, Q, feasibility)."""
@@ -520,6 +639,8 @@ class SearchContext:
                 "every vertex was excluded; cannot sample candidate pairs"
             )
         q_probs = q_weights / total_weight
+        # μ_Q — the pair_keyed stream's Eq. 7 normaliser (see SigmaSetup).
+        q_mean_uniqueness = float(q_probs @ uniqueness)
         # Feasibility: E_C can grow at most to |E| plus the non-edges
         # available among V \ H.  The paper's |E| ≪ |V2|/2 assumption
         # makes this always hold on real social graphs; tiny dense
@@ -531,7 +652,334 @@ class SearchContext:
             (eligible_mask[self._edge_us] & eligible_mask[self._edge_vs]).sum()
         )
         available = n_eligible * (n_eligible - 1) // 2 - edges_within
-        return SigmaSetup(uniqueness, excluded, q_probs, available)
+        return SigmaSetup(
+            uniqueness, excluded, q_probs, available, q_mean_uniqueness
+        )
+
+
+def _pair_stream_perturbations(
+    pair_key: int,
+    codes: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    sigma: float,
+    setup: SigmaSetup,
+    q: float,
+) -> np.ndarray:
+    """``r_e`` for a batch of pairs — a pure function of the pair.
+
+    The pair_keyed stream's sampler: per-pair σ(e) via the invariant
+    Eq. 7 normaliser, one inverse-CDF pass over the pair-code-keyed
+    uniforms, and white noise resolved from its own substreams.  The
+    same helper serves both engines (and the batched probe path), so a
+    pair's perturbation never depends on which call evaluates it.
+    """
+    pair_uniq = pair_uniqueness(setup.uniqueness, us, vs)
+    pair_sigmas = redistribute_sigma_invariant(
+        sigma, pair_uniq, setup.q_mean_uniqueness
+    )
+    r = perturbations_from_uniforms(
+        pair_stream_uniforms(pair_key, codes, PAIR_SUBSTREAM_PERTURBATION),
+        pair_sigmas,
+    )
+    white = pair_stream_uniforms(pair_key, codes, PAIR_SUBSTREAM_WHITE_MASK) < q
+    if white.any():
+        r[white] = pair_stream_uniforms(
+            pair_key, codes[white], PAIR_SUBSTREAM_WHITE_VALUE
+        )
+    return r
+
+
+def _column_entropies_split(
+    Xf: np.ndarray,
+    t_eff: int,
+    n: int,
+    extra_rows: np.ndarray,
+    extra: np.ndarray,
+    omegas: np.ndarray,
+) -> np.ndarray:
+    """``H(Y_ω)`` per attempt from the split posterior representation.
+
+    The batched probe path stores exact-bucket rows in a width-capped
+    ``(t·n, x_width)`` stack and CLT rows in their own full-width
+    matrix; this combines both into per-attempt column entropies with
+    the same ``log2 T − (Σ c·log2 c)/T`` arithmetic as
+    :meth:`repro.core.obfuscation_check.DegreePosterior.column_entropies`
+    (0·log 0 convention, zero-mass columns → 0), through the shared
+    :func:`repro.core.obfuscation_check.column_mass_stack` reduction.
+    Exact rows cannot reach degrees at or beyond the cap, so columns
+    there draw from the CLT rows alone.
+    """
+    totals, sums = column_mass_stack(
+        Xf.reshape(t_eff, n, Xf.shape[1]), omegas
+    )
+    if len(extra_rows):
+        ecols = extra[:, omegas]
+        eplogp = np.zeros_like(ecols)
+        np.log2(ecols, out=eplogp, where=ecols > 0.0)
+        eplogp *= ecols
+        att = extra_rows // n
+        np.add.at(totals, att, ecols)
+        np.add.at(sums, att, eplogp)
+    return entropies_from_column_mass(totals, sums)
+
+
+def _generate_pair_keyed_array(
+    sigma: float,
+    params: ObfuscationParams,
+    rng: np.random.Generator,
+    context: SearchContext,
+    setup: SigmaSetup,
+    target_size: int,
+) -> GenerationOutcome:
+    """Algorithm 2 under the ``pair_keyed`` stream, array engine.
+
+    The pair-keyed stream turns the probe's randomness inside out: the
+    master RNG only feeds the candidate builds (plus the one key draw),
+    and every pair probability is a pure function of
+    ``(key, pair code, σ)``.  Two structural consequences carry the
+    speedup:
+
+    * **per-probe edge state** — original-edge probabilities are shared
+      by all attempts, so their canonical incidence data, CLT moments
+      and, for exact-bucket vertices, the Lemma-1 DP over the edge
+      entries (the *base* rows) are computed once per probe;
+    * **attempt batching** — with no stream interleaving between
+      evaluation and sampling, all candidate sets are built first
+      (stream-identical to the sequential engine) and then evaluated in
+      one stacked pass: each attempt's *additions* are folded into the
+      base rows by :func:`repro.core.posterior_batch.fold_in_staircase`
+      over every attempt simultaneously, CLT rows take one batched
+      moments pass, and the Definition-2 entropies evaluate on the
+      ``(t, n, width)`` stack at once.
+
+    Only two row classes pay a recompute: CLT rows (O(width) each, by
+    design) and exact rows that lost an edge to candidate toggling —
+    removed edges carry ``p = 1 - r_e`` beyond
+    :data:`repro.core.posterior_batch.FOLD_OUT_MAX_P`, where the
+    inverse fold is ill-conditioned, so their base is rebuilt from the
+    kept entries instead (the same rule the incremental engine pins).
+    Everything else is served from the cached base + fold-in — the
+    ``rows_folded`` counter the benchmarks assert on.
+
+    Fold rows fold edges first, then additions (the canonical CSR
+    interleaves them), so values may drift ≤1e-12 from the sequential
+    ground truth; candidate sets, probabilities and draws stay
+    bit-identical.
+    """
+    n, m, width = context.n, context.m, context.width
+    edge_codes = context.edge_codes
+    pair_key = int(rng.integers(0, 2**63 - 1))
+
+    # Phase 1 — candidate builds, consuming the master stream exactly
+    # like the sequential engine's per-attempt builds (nothing else in
+    # this mode draws from the master RNG between them).
+    built: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+    pairs_drawn = 0
+    batch_size = _candidate_batch_size(target_size, m, params.stream)
+    for attempt in range(params.attempts):
+        try:
+            codes, is_edge, removed_codes, draws_used = _build_candidate_codes(
+                n, edge_codes, target_size, setup.sampler, rng,
+                batch_size=batch_size,
+            )
+        except CandidateStallError as stall:
+            pairs_drawn += stall.pairs_drawn
+            continue
+        pairs_drawn += draws_used // 2
+        built.append((attempt, codes, is_edge, removed_codes))
+
+    best = GenerationOutcome(
+        eps_achieved=float("inf"), uncertain=None, sigma=sigma
+    )
+    best.pairs_drawn = pairs_drawn
+    if not built:
+        best.attempts_made = params.attempts
+        return best
+    t_eff = len(built)
+
+    # Phase 2 — per-probe edge state: probabilities, canonical CSR
+    # data, CLT moments, and the exact-bucket base DP rows.
+    r_edge = _pair_stream_perturbations(
+        pair_key,
+        edge_codes,
+        context._edge_us,
+        context._edge_vs,
+        sigma,
+        setup,
+        params.q,
+    )
+    p_edge = 1.0 - r_edge
+    e_counts, e_indptr, entry_pair = context.edge_incidence()
+    e_data = p_edge[entry_pair]
+    # Exact-bucket rows can never exceed AUTO_EXACT_LIMIT incident
+    # candidates, so the whole exact-side pipeline — base, rebuilds,
+    # fold, stack — runs at that support cap instead of the full
+    # retained width (hub degrees can be far larger; their CLT rows
+    # live in a separate full-width matrix).
+    if params.method == "normal":
+        exact_limit = -1
+        x_width = 1
+        base = None
+    elif params.method == "exact":
+        exact_limit = np.iinfo(np.int64).max
+        x_width = width
+        base = degree_posterior_matrix(
+            e_indptr, e_data, method="exact", width=x_width
+        )
+    else:
+        exact_limit = AUTO_EXACT_LIMIT
+        x_width = min(width, AUTO_EXACT_LIMIT + 1)
+        base = degree_posterior_matrix(
+            e_indptr, e_data, method="auto", width=x_width
+        )
+    mu_edge, pq_edge = _segment_moments(e_data, e_indptr[:-1], e_indptr[1:])
+
+    # Phase 3 — stack the attempts: addition probabilities in one hashed
+    # pass, one incidence CSR over attempt-offset vertex ids, removed
+    # edges located per attempt.
+    add_parts = [codes[~is_edge] for _, codes, is_edge, _r in built]
+    add_sizes = np.array([len(p) for p in add_parts], dtype=np.int64)
+    add_codes = (
+        np.concatenate(add_parts) if add_parts else np.empty(0, dtype=np.int64)
+    )
+    att_of_add = np.repeat(np.arange(t_eff, dtype=np.int64), add_sizes)
+    add_us, add_vs = add_codes // n, add_codes % n
+    r_add = _pair_stream_perturbations(
+        pair_key, add_codes, add_us, add_vs, sigma, setup, params.q
+    )
+    offset = att_of_add * np.int64(n)
+    a_counts, a_indptr, a_data = _incidence_csr(
+        t_eff * n, offset + add_us, offset + add_vs, r_add
+    )
+
+    # Removed edges per attempt (the builder already knows them): their
+    # stacked endpoint rows lose an incident entry and its moments.
+    rem_sizes = np.array([len(r) for _, _, _, r in built], dtype=np.int64)
+    rem_codes_all = (
+        np.concatenate([r for _, _, _, r in built])
+        if built
+        else np.empty(0, dtype=np.int64)
+    )
+    rem_idx = np.searchsorted(edge_codes, rem_codes_all)
+    rem_att = np.repeat(np.arange(t_eff, dtype=np.int64), rem_sizes)
+    rem_off = rem_att * np.int64(n)
+    removed_rows = np.concatenate(
+        [rem_off + context._edge_us[rem_idx], rem_off + context._edge_vs[rem_idx]]
+    )
+    counts_stack = np.tile(e_counts, t_eff) + a_counts
+    if removed_rows.size:
+        p_rem = np.concatenate([p_edge[rem_idx], p_edge[rem_idx]])
+        counts_stack -= np.bincount(removed_rows, minlength=t_eff * n)
+        mu_rem = np.bincount(
+            removed_rows, weights=p_rem, minlength=t_eff * n
+        )
+        pq_rem = np.bincount(
+            removed_rows, weights=p_rem * (1.0 - p_rem), minlength=t_eff * n
+        )
+    else:
+        mu_rem = pq_rem = np.zeros(t_eff * n, dtype=np.float64)
+
+    exact_stack = counts_stack <= exact_limit
+    has_removed = np.zeros(t_eff * n, dtype=bool)
+    has_removed[removed_rows] = True
+
+    # Phase 4 — posterior stack: every attempt's X initialised from the
+    # base rows, removed-edge rows rebuilt, additions folded in, CLT
+    # rows recomputed from moments into their own full-width matrix.
+    X = np.empty((t_eff, n, x_width), dtype=np.float64)
+    Xf = X.reshape(t_eff * n, x_width)
+    if base is not None:
+        X[:] = base[None, :, :]
+    else:
+        Xf[...] = 0.0
+
+    rebuild = np.flatnonzero(exact_stack & has_removed)
+    if rebuild.size:
+        # Rebuild the base of rows that lost an edge to candidate
+        # toggling: gather their edge-CSR slots and drop the slots whose
+        # edge was toggled out in that row's attempt (p = 1 - r_e sits
+        # beyond FOLD_OUT_MAX_P, so the inverse fold is off the table).
+        verts = rebuild % n
+        atts = rebuild // n
+        live = e_counts[verts]
+        slots = multi_range(e_indptr[verts], live)
+        # Sparse (attempt, edge) membership on combined keys — the
+        # removal set is tiny, so no dense (t, m) matrix is needed.
+        rem_keys = np.sort(rem_att * np.int64(m) + rem_idx)
+        slot_keys = np.repeat(atts, live) * np.int64(m) + entry_pair[slots]
+        keep = ~_sorted_contains(rem_keys, slot_keys)
+        row_of_slot = np.repeat(np.arange(len(rebuild)), live)
+        sub_counts = np.bincount(
+            row_of_slot[keep], minlength=len(rebuild)
+        ).astype(np.int64)
+        sub_indptr = np.zeros(len(rebuild) + 1, dtype=np.int64)
+        np.cumsum(sub_counts, out=sub_indptr[1:])
+        Xf[rebuild] = degree_posterior_matrix(
+            sub_indptr, e_data[slots][keep], method="exact", width=x_width
+        )
+
+    # Fold every attempt's additions into its exact rows in one stacked
+    # pass, in place over the whole posterior stack (rows to be
+    # recomputed are masked out; rows without additions pass through).
+    fold_in_staircase(
+        Xf,
+        a_indptr,
+        a_data,
+        support=counts_stack - a_counts + 1,
+        active=exact_stack,
+        overwrite=True,
+    )
+
+    clt_rows = np.flatnonzero(~exact_stack)
+    if clt_rows.size:
+        verts = clt_rows % n
+        add_mu, add_pq = _segment_moments(
+            a_data, a_indptr[clt_rows], a_indptr[clt_rows + 1]
+        )
+        mu = mu_edge[verts] - mu_rem[clt_rows] + add_mu
+        pq = pq_edge[verts] - pq_rem[clt_rows] + add_pq
+        X_clt = normal_approx_pmf_batch(
+            mu, pq, counts_stack[clt_rows], support=width - 1
+        )
+        # Their stack slots still hold the (meaningless) base tile —
+        # blank them so the exact-side column sums skip CLT vertices.
+        Xf[clt_rows] = 0.0
+    else:
+        X_clt = np.empty((0, width), dtype=np.float64)
+
+    best.rows_folded = int(exact_stack.sum()) - len(rebuild)
+    best.rows_recomputed = len(rebuild) + len(clt_rows)
+
+    # Phase 5 — Definition 2 on the whole stack: entropies per distinct
+    # original degree, under-obfuscated counts via degree multiplicity.
+    k_threshold = math.log2(params.k) - 1e-12
+    entropies = _column_entropies_split(
+        Xf, t_eff, n, clt_rows, X_clt, context.distinct_degrees
+    )
+    under = entropies < k_threshold
+    eps_attempts = (under * context.degree_multiplicity[None, :]).sum(
+        axis=1
+    ) / max(n, 1)
+
+    qualifying = np.flatnonzero(eps_attempts <= params.eps)
+    if not qualifying.size:
+        best.attempts_made = params.attempts
+        return best
+    winner = int(qualifying[np.argmin(eps_attempts[qualifying])])
+    attempt_index, codes, is_edge, _ = built[winner]
+    probs = np.empty(len(codes), dtype=np.float64)
+    probs[is_edge] = p_edge[
+        np.searchsorted(edge_codes, codes[is_edge])
+    ]
+    hi = int(np.cumsum(add_sizes)[winner])
+    probs[~is_edge] = r_add[hi - int(add_sizes[winner]) : hi]
+    best.eps_achieved = float(eps_attempts[winner])
+    best.uncertain = UncertainGraph._from_trusted_arrays(
+        n, codes // n, codes % n, probs
+    )
+    best.attempts_made = attempt_index + 1
+    return best
 
 
 def generate_obfuscation(
@@ -598,24 +1046,50 @@ def generate_obfuscation(
             f"{setup.available_additions} addable non-edges outside H; reduce c"
         )
 
+    use_array = params.engine == "array"
+    pair_stream = params.stream == "pair_keyed"
+    if use_array and pair_stream:
+        # The default path: per-probe edge state + batched attempt
+        # evaluation through the base/fold posterior (see the helper's
+        # docstring).  The sequential engine keeps the attempt loop
+        # below as its ground truth for this stream too.
+        return _generate_pair_keyed_array(
+            sigma, params, rng, context, setup, target_size
+        )
+
     best = GenerationOutcome(
         eps_achieved=float("inf"), uncertain=None, sigma=sigma
     )
     pairs_drawn = 0
-    use_array = params.engine == "array"
+    # The attempt stream's array path keeps fold off so its selective
+    # updates stay bit-identical to the PR-4 engine.
     posterior_engine = context.posterior_engine() if use_array else None
     edge_set = context.edge_set if not use_array else None
+    stats_before = dict(posterior_engine.stats) if use_array else None
+    posteriors_computed = 0
+    if pair_stream:
+        # One master key per Algorithm-2 call: every pair draw below is
+        # a pure function of (key, pair code, σ), shared by the call's
+        # attempts — and by both engines, which consume the master
+        # stream identically up to this point.
+        pair_key = int(rng.integers(0, 2**63 - 1))
     k_threshold = math.log2(params.k) - 1e-12  # Definition-2 bound, as k_obfuscated
+    batch_size = _candidate_batch_size(target_size, m, params.stream)
     for attempt in range(params.attempts):
         try:
             if use_array:
-                codes, is_edge, draws_used = _build_candidate_codes(
-                    n, context.edge_codes, target_size, setup.sampler, rng
+                codes, is_edge, _, draws_used = _build_candidate_codes(
+                    n,
+                    context.edge_codes,
+                    target_size,
+                    setup.sampler,
+                    rng,
+                    batch_size=batch_size,
                 )
                 us, vs = codes // n, codes % n
             else:
                 candidate, draws_used = _build_candidate_set(
-                    n, edge_set, target_size, q_probs, rng
+                    n, edge_set, target_size, q_probs, rng, batch_size=batch_size
                 )
         except CandidateStallError as stall:
             # Stochastic stall (all eligible non-edges absorbed before the
@@ -627,19 +1101,22 @@ def generate_obfuscation(
         if not use_array:
             pairs = np.array(sorted(candidate), dtype=np.int64)
             us, vs = pairs[:, 0], pairs[:, 1]
+            codes = us * np.int64(n) + vs
 
-        pair_uniq = pair_uniqueness(uniqueness, us, vs)
-        pair_sigmas = redistribute_sigma(sigma, pair_uniq)
-
-        perturbations = sample_perturbations(pair_sigmas, seed=rng)
-        white = rng.random(len(us)) < params.q
-        if white.any():
-            perturbations[white] = rng.random(int(white.sum()))
+        if pair_stream:
+            perturbations = _pair_stream_perturbations(
+                pair_key, codes, us, vs, sigma, setup, params.q
+            )
+        else:
+            pair_uniq = pair_uniqueness(uniqueness, us, vs)
+            pair_sigmas = redistribute_sigma(sigma, pair_uniq)
+            perturbations = sample_perturbations(pair_sigmas, seed=rng)
+            white = rng.random(len(us)) < params.q
+            if white.any():
+                perturbations[white] = rng.random(int(white.sum()))
 
         if not use_array:
-            is_edge = np.isin(
-                us * np.int64(n) + vs, context.edge_codes, assume_unique=True
-            )
+            is_edge = np.isin(codes, context.edge_codes, assume_unique=True)
         probs = np.where(is_edge, 1.0 - perturbations, perturbations)
 
         if use_array:
@@ -654,6 +1131,7 @@ def generate_obfuscation(
             posterior = compute_degree_posterior(
                 uncertain, method=params.method, width=width
             )
+        posteriors_computed += 1
         # Line 20: ε̃ = |{v: H(Y_{P(v)}) < log2 k}| / n, sharing the
         # context's distinct-degree dedup (same arithmetic as
         # tolerance_achieved → k_obfuscated).
@@ -674,4 +1152,22 @@ def generate_obfuscation(
     if best.uncertain is None:
         best.attempts_made = params.attempts
     best.pairs_drawn = pairs_drawn
+    if use_array:
+        # Fold-path coverage: how many of this call's posterior rows the
+        # incremental engine served from cache / by fold, vs recomputed
+        # (full rebuilds recompute all n rows).
+        stats_after = posterior_engine.stats
+        best.rows_folded = (
+            stats_after["skipped"]
+            - stats_before["skipped"]
+            + stats_after["folded"]
+            - stats_before["folded"]
+        )
+        best.rows_recomputed = (
+            stats_after["recomputed"]
+            - stats_before["recomputed"]
+            + n * (stats_after["full"] - stats_before["full"])
+        )
+    else:
+        best.rows_recomputed = n * posteriors_computed
     return best

@@ -167,6 +167,63 @@ class DegreePosterior:
         return self.obfuscation_entropies(degrees) >= math.log2(k) - 1e-12
 
 
+def column_mass_stack(
+    stack: np.ndarray, omegas: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-attempt column mass ``T = Σ_v c`` and ``S = Σ_v c·log2 c``.
+
+    The shared reduction behind :func:`column_entropies_stack` and the
+    batched probe path's split evaluation (which adds its CLT rows'
+    mass before forming ``H = log2 T − S/T``).  ``stack`` is
+    ``(t, n, width)``; both outputs are ``(t, len(omegas))``, with
+    out-of-range degrees contributing zero mass.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise ValueError("stack must be 3-D (attempts × vertices × degrees)")
+    omegas = np.asarray(omegas, dtype=np.int64)
+    t, n, width = stack.shape
+    totals = np.zeros((t, len(omegas)), dtype=np.float64)
+    sums = np.zeros((t, len(omegas)), dtype=np.float64)
+    valid = (omegas >= 0) & (omegas < width)
+    if valid.any():
+        # Gather on the flattened 2-D view (contiguous rows), reduce per
+        # attempt block — same arithmetic as the per-attempt evaluation.
+        cols = stack.reshape(t * n, width)[:, omegas[valid]]
+        plogp = np.zeros_like(cols)
+        np.log2(cols, out=plogp, where=cols > 0.0)
+        plogp *= cols
+        totals[:, valid] = cols.reshape(t, n, -1).sum(axis=1)
+        sums[:, valid] = plogp.reshape(t, n, -1).sum(axis=1)
+    return totals, sums
+
+
+def entropies_from_column_mass(
+    totals: np.ndarray, sums: np.ndarray
+) -> np.ndarray:
+    """``H = log2 T − S/T`` with the zero-mass → 0 convention."""
+    out = np.zeros_like(totals)
+    attainable = totals > 0.0
+    np.log2(totals, out=out, where=attainable)
+    out[attainable] -= sums[attainable] / totals[attainable]
+    return out
+
+
+def column_entropies_stack(stack: np.ndarray, omegas: np.ndarray) -> np.ndarray:
+    """``H(Y_ω)`` per degree for a whole stack of posterior matrices.
+
+    ``stack`` is ``(t, n, width)`` — one X matrix per Algorithm-2
+    attempt — and the result is ``(t, len(omegas))``: row ``a`` equals
+    ``DegreePosterior(stack[a]).column_entropies(omegas)`` up to the
+    reduction axis (the same ``log2 T − (Σ c·log2 c)/T`` per column with
+    the same 0·log 0 and zero-mass conventions).  One fused pass over
+    all attempts replaces ``t`` separate column evaluations — the
+    Definition-2 check of the batched ``pair_keyed`` probe path.
+    """
+    totals, sums = column_mass_stack(stack, omegas)
+    return entropies_from_column_mass(totals, sums)
+
+
 def compute_degree_posterior(
     uncertain: UncertainGraph,
     *,

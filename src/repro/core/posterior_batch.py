@@ -36,6 +36,7 @@ __all__ = [
     "normal_approx_pmf_batch",
     "degree_posterior_matrix",
     "fold_in_bernoulli",
+    "fold_in_staircase",
     "fold_out_bernoulli",
     "IncrementalDegreePosterior",
 ]
@@ -414,6 +415,200 @@ def fold_in_bernoulli(rows: np.ndarray, ps: np.ndarray) -> np.ndarray:
     out = np.empty_like(rows)
     out[:, 1:] = rows[:, 1:] * (1.0 - p) + rows[:, :-1] * p
     out[:, 0] = rows[:, 0] * (1.0 - ps)
+    return out
+
+
+#: Degree buckets of :func:`fold_in_staircase`'s convolution pass: rows
+#: are grouped by additions-PMF degree rounded up to these caps so each
+#: bucket resolves as one batched window/coefficient contraction.
+_FOLD_DEGREE_CAPS = (1, 2, 4, 8, 16, 32, 64, 1 << 30)
+
+
+def fold_in_staircase(
+    rows: np.ndarray,
+    indptr: np.ndarray,
+    data: np.ndarray,
+    *,
+    support: np.ndarray | None = None,
+    active: np.ndarray | None = None,
+    overwrite: bool = False,
+) -> np.ndarray:
+    """Fold a ragged batch of Bernoullis into warm DP rows.
+
+    Row ``r`` receives the entries ``data[indptr[r]:indptr[r+1]]``: the
+    result equals folding them in with :func:`fold_in_bernoulli` one by
+    one (up to float reordering, ≤1e-12 — pinned by the fold tests).
+    Rows with no entries pass through untouched.
+
+    The evaluation is *two-stage* to stay dispatch-bound instead of
+    Python-bound: first each row's entries collapse into their own
+    Poisson-binomial PMF (a cold active-prefix staircase over a
+    ``(rows, max-count + 1)`` matrix — tiny, since counts are bounded
+    by the exact bucket), then that *product polynomial* is convolved
+    into the warm row, bucketed by polynomial degree so each retained
+    coefficient is one full-width multiply-add over the whole bucket.
+    A sum of independent variables is the convolution of their PMFs, so
+    the two-stage result is the same distribution as the sequential
+    fold — only the floating-point grouping differs.
+
+    This is the ``pair_keyed`` stream's hot loop: the per-probe base
+    rows (original-edge entries only, stable across attempts) get each
+    attempt's candidate *additions* folded in — for all attempts of a
+    probe stacked into one call.
+
+    Parameters
+    ----------
+    rows:
+        ``(R, width)`` float64 matrix of DP rows (not modified unless
+        ``overwrite``).
+    indptr:
+        ``(R + 1,)`` CSR offsets into ``data``.
+    data:
+        Bernoulli success probabilities, grouped per row.
+    support:
+        Optional per-row count of leading columns that may be non-zero
+        on entry (e.g. ``kept degree + 1`` for base rows) — lets the
+        convolution pass stop at each bucket's true final support
+        instead of sweeping the full retained width.  Defaults to the
+        full width (no assumption).
+    active:
+        Optional boolean row mask; rows outside it are left untouched
+        even when they have entries (the probe path passes the whole
+        posterior stack plus the all-rows additions CSR and masks the
+        rows that will be recomputed outright).
+    overwrite:
+        When true, ``rows`` (which must be a C-contiguous float64
+        array) is updated in place and returned — the probe path's
+        stack is large enough that a defensive copy would dominate.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(R, width)`` result — a new matrix, or ``rows`` itself
+        when ``overwrite`` is set.
+    """
+    if overwrite:
+        if (
+            not isinstance(rows, np.ndarray)
+            or rows.dtype != np.float64
+            or not rows.flags.c_contiguous
+        ):
+            raise ValueError("overwrite=True needs a C-contiguous float64 array")
+        out = rows
+    else:
+        rows = np.asarray(rows, dtype=np.float64)
+        out = None
+    indptr = np.asarray(indptr, dtype=np.int64)
+    data = np.asarray(data, dtype=np.float64)
+    if rows.ndim != 2 or len(indptr) != rows.shape[0] + 1:
+        raise ValueError("rows must be (R, width) with R + 1 indptr offsets")
+    if data.size and (data.min() < 0.0 or data.max() > 1.0):
+        raise ValueError("Bernoulli probabilities must lie in [0, 1]")
+    width = rows.shape[1]
+    counts = np.diff(indptr)
+    if active is not None:
+        counts = np.where(np.asarray(active, dtype=bool), counts, 0)
+    if out is None:
+        out = rows.copy()
+    jmax = int(counts.max(initial=0))
+    if jmax == 0:
+        return out
+
+    # Stage 1 — per-row product polynomials: the Poisson-binomial PMF
+    # of each row's own entries, via the usual descending-count
+    # staircase (support grows with the step, so the working width is
+    # the step count, not the row width).
+    live = np.flatnonzero(counts)
+    order = live[np.argsort(-counts[live], kind="stable")]
+    sorted_counts = counts[order]
+    starts = indptr[order]
+    poly = np.zeros((len(order), min(jmax, width - 1) + 1), dtype=np.float64)
+    poly[:, 0] = 1.0
+    hist = np.bincount(sorted_counts, minlength=jmax + 1)
+    ks = len(order) - np.cumsum(hist)[:jmax]
+    dense = len(order) * jmax <= _DENSE_ADDEND_BUDGET
+    if dense:
+        # Column-major padded addend matrix, filled with one flat
+        # scatter (entry e of sorted row r lands at PT[e, r]) — far
+        # cheaper than a boolean-masked assignment into (rows, jmax).
+        total = int(sorted_counts.sum())
+        flat_start = np.concatenate([[0], np.cumsum(sorted_counts[:-1])])
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            flat_start, sorted_counts
+        )
+        row_of = np.repeat(
+            np.arange(len(order), dtype=np.int64), sorted_counts
+        )
+        PT = np.zeros((jmax, len(order)), dtype=np.float64)
+        PT[within, row_of] = data[multi_range(starts, sorted_counts)]
+    for step in range(jmax):
+        k = int(ks[step])
+        p = PT[step, :k, None] if dense else data[starts[:k] + step][:, None]
+        filled = min(step + 1, poly.shape[1] - 1)
+        shifted = poly[:k, :filled] * p
+        prefix = poly[:k, : filled + 1]
+        prefix *= 1.0 - p
+        prefix[:, 1:] += shifted
+
+    # Stage 2 — convolve each polynomial into its warm row:
+    # ``out[ω] = Σ_t base[ω-t]·poly[t]`` is a banded matvec, so each
+    # degree bucket left-pads its rows with ``tcap`` zeros, views them
+    # as sliding windows of ``tcap + 1`` columns and contracts against
+    # the (reversed) coefficient vectors in one ``einsum`` — a handful
+    # of fat dispatches instead of a per-entry fold loop.  Folding a
+    # Bernoulli grows support by one, so each bucket also trims its
+    # columns to the bucket's largest final support
+    # (``support + degree``): on wide graphs the exact rows live far
+    # below the retained width and the trim is the difference between
+    # flop-bound and memory-bound.
+    degree = np.minimum(sorted_counts, poly.shape[1] - 1)
+    if poly.shape[1] == 1:
+        # Width-1 rows truncate every polynomial to its constant term:
+        # the "convolution" is a plain scale by ∏(1-p), which the
+        # degree buckets below (which start at degree 1) never visit.
+        out[order, 0] *= poly[:, 0]
+        return out
+    if support is None:
+        final = np.full(len(order), width, dtype=np.int64)
+    else:
+        support = np.asarray(support, dtype=np.int64)
+        if support.shape != (rows.shape[0],):
+            raise ValueError("support must have one entry per row")
+        final = np.minimum(support[order] + degree, width)
+    # Rows are count-sorted descending, so each degree bucket — rows
+    # with degree in (previous cap, cap] — is a contiguous slice.
+    prev_cap = 0
+    for cap in _FOLD_DEGREE_CAPS:
+        if prev_cap >= jmax:
+            break
+        sel_hi = int(np.searchsorted(-degree, -prev_cap - 1, side="right"))
+        sel_lo = int(np.searchsorted(-degree, -cap, side="left"))
+        prev_cap = cap
+        if sel_lo >= sel_hi:
+            continue
+        rows_b = order[sel_lo:sel_hi]
+        tcap = int(degree[sel_lo])
+        supcap = int(final[sel_lo:sel_hi].max())
+        base_b = out[rows_b, :supcap]
+        if tcap <= 2:
+            # One or two coefficients: direct shift-multiply-adds beat
+            # the window machinery.
+            acc = base_b * poly[sel_lo:sel_hi, 0:1]
+            for t in range(1, tcap + 1):
+                acc[:, t:] += base_b[:, :-t] * poly[sel_lo:sel_hi, t : t + 1]
+        else:
+            padded = np.zeros((len(rows_b), tcap + supcap), dtype=np.float64)
+            padded[:, tcap:] = base_b
+            windows = np.lib.stride_tricks.sliding_window_view(
+                padded, tcap + 1, axis=1
+            )
+            # windows[r, ω, i] = base[r, ω + i - tcap] pairs with poly
+            # coefficient t = tcap - i.
+            coeffs = np.ascontiguousarray(
+                poly[sel_lo:sel_hi, : tcap + 1][:, ::-1]
+            )
+            acc = np.einsum("rwi,ri->rw", windows, coeffs)
+        out[rows_b, :supcap] = acc
     return out
 
 

@@ -80,14 +80,18 @@ def obfuscate(
     t0 = time.perf_counter()
     trace: list[SearchStep] = []
     edges_processed = 0
+    rows_folded = 0
+    rows_recomputed = 0
 
     def probe(sigma: float, phase: str) -> GenerationOutcome:
         """One Algorithm-2 evaluation, recorded in the search trace."""
-        nonlocal edges_processed
+        nonlocal edges_processed, rows_folded, rows_recomputed
         outcome = generate_obfuscation(
             graph, sigma, params, seed=rng, context=context
         )
         edges_processed += outcome.pairs_drawn
+        rows_folded += outcome.rows_folded
+        rows_recomputed += outcome.rows_recomputed
         trace.append(
             SearchStep(sigma=sigma, eps_achieved=outcome.eps_achieved, phase=phase)
         )
@@ -110,6 +114,8 @@ def obfuscate(
                 params=params,
                 trace=trace,
                 edges_processed=edges_processed,
+                rows_folded=rows_folded,
+                rows_recomputed=rows_recomputed,
                 elapsed_seconds=time.perf_counter() - t0,
             )
 
@@ -132,6 +138,8 @@ def obfuscate(
         params=params,
         trace=trace,
         edges_processed=edges_processed,
+        rows_folded=rows_folded,
+        rows_recomputed=rows_recomputed,
         elapsed_seconds=time.perf_counter() - t0,
     )
 

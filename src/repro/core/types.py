@@ -50,6 +50,21 @@ class ObfuscationParams:
         is the per-draw Python loop kept as pinned ground truth.  Both
         consume the identical RNG stream, so a fixed seed produces the
         same candidate sets, obfuscations and search traces on either.
+    stream:
+        Source of the per-pair perturbation randomness.
+        ``"pair_keyed"`` (default) derives every ``r_e ~ R_σ(e)`` — and
+        the white-noise coin and value — from a counter-based substream
+        keyed by the pair code, via one inverse-CDF pass: a pair's draw
+        is a pure function of ``(master key, pair code, σ)``, so pairs
+        shared between attempts keep bit-equal probabilities and the
+        incremental posterior's fold path carries the Definition-2
+        check.  ``"attempt"`` is the historical mode — every attempt
+        redraws all pairs from the shared sequential stream — retained
+        as pinned ground truth, bit-identical to the pre-substream
+        engine at a fixed seed.  The two modes consume different
+        streams (a documented stream change) but are both
+        deterministic, and both are engine-independent: ``"array"`` and
+        ``"sequential"`` agree under either stream.
     """
 
     k: float
@@ -63,6 +78,7 @@ class ObfuscationParams:
     delta: float = 1e-3
     weighting: str = "uniqueness"
     engine: str = "array"
+    stream: str = "pair_keyed"
 
     def __post_init__(self):
         if self.k < 1:
@@ -87,6 +103,10 @@ class ObfuscationParams:
             raise ValueError(
                 f"engine must be 'array' or 'sequential', got {self.engine!r}"
             )
+        if self.stream not in ("pair_keyed", "attempt"):
+            raise ValueError(
+                f"stream must be 'pair_keyed' or 'attempt', got {self.stream!r}"
+            )
 
 
 @dataclass
@@ -104,6 +124,16 @@ class GenerationOutcome:
     Line 7's Q-sampling across all attempts — including self-pairs,
     repeats and the unused tail of the final sampling batch — the
     honest denominator for Table-3 throughput accounting.
+
+    ``rows_folded`` / ``rows_recomputed`` report posterior fold-path
+    coverage: of the ``n × attempts`` degree-PMF rows the Definition-2
+    checks needed, how many were served incrementally (cached row kept,
+    or updated by fold-out/fold-in of its changed entries) versus
+    recomputed through the full staircase/CLT passes (full rebuilds
+    count all ``n`` rows).  The sequential engine recomputes everything
+    by construction, so its ``rows_folded`` is always 0 — the counters
+    are how benchmarks assert the ``pair_keyed`` stream actually keeps
+    the incremental path hot.
     """
 
     eps_achieved: float
@@ -111,6 +141,8 @@ class GenerationOutcome:
     sigma: float
     attempts_made: int = 0
     pairs_drawn: int = 0
+    rows_folded: int = 0
+    rows_recomputed: int = 0
 
     @property
     def success(self) -> bool:
@@ -152,6 +184,12 @@ class ObfuscationResult:
         Total candidate-pair draws actually consumed across all probes
         (the sum of per-probe ``pairs_drawn`` — throughput accounting
         for the Table 3 reproduction).
+    rows_folded, rows_recomputed:
+        Posterior fold-path coverage summed over all probes (see
+        :class:`GenerationOutcome`);
+        ``rows_folded / (rows_folded + rows_recomputed)`` is the
+        fraction of degree-PMF rows the incremental engine served
+        without a full recompute.
     elapsed_seconds:
         Wall-clock time of the whole search.
     """
@@ -162,6 +200,8 @@ class ObfuscationResult:
     params: ObfuscationParams
     trace: list[SearchStep] = field(default_factory=list)
     edges_processed: int = 0
+    rows_folded: int = 0
+    rows_recomputed: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -175,3 +215,11 @@ class ObfuscationResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.edges_processed / self.elapsed_seconds
+
+    @property
+    def fold_fraction(self) -> float:
+        """Fraction of posterior rows served by the incremental path."""
+        total = self.rows_folded + self.rows_recomputed
+        if total == 0:
+            return 0.0
+        return self.rows_folded / total

@@ -175,3 +175,29 @@ def redistribute_sigma(
     if total <= 0:
         raise ValueError("pair uniqueness values must have positive total mass")
     return sigma * pair_uniq.size * pair_uniq / total
+
+
+def redistribute_sigma_invariant(
+    sigma: float, pair_uniq: np.ndarray, mean_uniqueness: float
+) -> np.ndarray:
+    """Candidate-set-independent Eq. 7: ``σ(e) = σ·U_σ(e)/μ_Q``.
+
+    :func:`redistribute_sigma` normalises by the *realised* mean
+    uniqueness of the candidate set, so a pair's σ(e) shifts whenever
+    any other pair enters or leaves ``E_C`` — which would re-randomise
+    every probability each attempt and starve the incremental
+    posterior.  The ``pair_keyed`` perturbation stream therefore
+    replaces the empirical normaliser with its expectation under the
+    pair-sampling distribution, ``μ_Q = Σ_v Q(v)·U_σ(P(v))`` (endpoints
+    are Q-i.i.d., so ``E[U_σ(e)] = μ_Q``): σ(e) becomes a pure function
+    of the pair and σ, and the mean of σ(e) over the Q-sampled
+    candidates still concentrates on σ as ``|E_C|`` grows.  Under the
+    ``"uniform"`` weighting ablation both normalisers are exactly 1 and
+    the two variants coincide at ``σ(e) = σ``.
+    """
+    pair_uniq = np.asarray(pair_uniq, dtype=np.float64)
+    if mean_uniqueness <= 0:
+        raise ValueError(
+            f"mean uniqueness must be positive, got {mean_uniqueness}"
+        )
+    return sigma * pair_uniq / mean_uniqueness

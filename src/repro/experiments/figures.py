@@ -15,10 +15,9 @@ import numpy as np
 from repro.baselines.anonymity import (
     cumulative_anonymity_curve,
     original_anonymity_levels,
-    randomization_anonymity_levels,
+    randomization_anonymity_levels_from_observed,
 )
 from repro.core.obfuscation_check import compute_degree_posterior
-from repro.experiments.comparison import _sample_release
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import SweepEntry
 from repro.stats.degree import degree_distribution
@@ -26,6 +25,8 @@ from repro.stats.distance import distance_histogram
 from repro.anf.distance_stats import anf_distance_histogram
 from repro.uncertain.sampling import WorldSampler
 from repro.utils.rng import as_rng
+from repro.worlds.releases import sample_releases
+from repro.worlds.stats_batch import degree_matrix
 
 
 @dataclass
@@ -147,7 +148,14 @@ def figure4_data(
         curves[label] = cumulative_anonymity_curve(levels, k_grid)
     rng = as_rng((config.seed, 4))
     for scheme, p in baselines or []:
-        published = _sample_release(graph, scheme, p, rng)
-        levels = randomization_anonymity_levels(graph, published, scheme, p)
+        # One batched possible-world draw (stream-identical to the old
+        # per-release `_sample_release`) whose degree sequence feeds the
+        # vectorised anonymity pass — no published Graph materialised.
+        observed = degree_matrix(
+            sample_releases(graph, scheme, p, 1, seed=rng)
+        )[0]
+        levels = randomization_anonymity_levels_from_observed(
+            graph, observed, scheme, p
+        )
         curves[f"{scheme} p={p:g}"] = cumulative_anonymity_curve(levels, k_grid)
     return curves

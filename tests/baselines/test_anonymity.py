@@ -6,13 +6,17 @@ import numpy as np
 import pytest
 
 from repro.baselines.anonymity import (
+    _entropy_from_grouped,
     binomial_pmf,
     cumulative_anonymity_curve,
     original_anonymity_levels,
     perturbation_transition,
     randomization_anonymity_levels,
+    randomization_anonymity_levels_from_observed,
+    randomization_transition_matrix,
     sparsification_transition,
 )
+from repro.baselines.randomization import addition_probability
 from repro.baselines.randomization import random_perturbation, random_sparsification
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.graph import Graph
@@ -24,7 +28,7 @@ class TestBinomialPmf:
             assert binomial_pmf(n, p).sum() == pytest.approx(1.0)
 
     def test_against_scipy(self):
-        from scipy import stats
+        stats = pytest.importorskip("scipy").stats
 
         for n, p in [(7, 0.4), (30, 0.1)]:
             ours = binomial_pmf(n, p)
@@ -111,6 +115,73 @@ class TestRandomizationLevels:
         for d in np.unique(degrees):
             vals = levels[degrees == d]
             assert np.allclose(vals, vals[0])
+
+
+class TestTransitionMatrixBatch:
+    """The vectorised (Ω, d_max) build against the per-ω scalar oracle."""
+
+    def test_sparsification_rows_match_scalar(self):
+        omegas = np.array([0, 1, 3, 7, 12])
+        T = randomization_transition_matrix(
+            omegas, "sparsification", 0.35, n=50, max_observed=10
+        )
+        for i, w in enumerate(omegas):
+            np.testing.assert_allclose(
+                T[i], sparsification_transition(int(w), 0.35, 10), atol=1e-14
+            )
+
+    @pytest.mark.parametrize("p,p_add", [(0.3, 0.002), (0.9, 0.05), (0.1, 0.0)])
+    def test_perturbation_rows_match_scalar(self, p, p_add):
+        omegas = np.array([0, 2, 5, 11])
+        T = randomization_transition_matrix(
+            omegas, "perturbation", p, p_add=p_add, n=80, max_observed=20
+        )
+        for i, w in enumerate(omegas):
+            oracle = perturbation_transition(int(w), p, p_add, 80, 20)
+            np.testing.assert_allclose(T[i], oracle, atol=1e-13)
+
+    def test_degenerate_probabilities(self):
+        omegas = np.array([2, 4])
+        none_kept = randomization_transition_matrix(
+            omegas, "sparsification", 1.0, n=10, max_observed=5
+        )
+        assert (none_kept[:, 0] == 1.0).all()
+        all_kept = randomization_transition_matrix(
+            omegas, "sparsification", 0.0, n=10, max_observed=5
+        )
+        assert all_kept[0, 2] == 1.0 and all_kept[1, 4] == 1.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            randomization_transition_matrix(
+                np.array([1]), "swapping", 0.5, n=10, max_observed=5
+            )
+
+
+class TestVectorisedLevelsOracle:
+    """The one-pass entropy evaluation against the former per-ω loop."""
+
+    @pytest.mark.parametrize("scheme,p", [("sparsification", 0.2), ("perturbation", 0.4)])
+    def test_levels_match_scalar_loop(self, scheme, p):
+        graph = erdos_renyi(120, 0.07, seed=3)
+        observed = np.maximum(graph.degrees() - 1, 0)
+        levels = randomization_anonymity_levels_from_observed(
+            graph, observed, scheme, p
+        )
+        n = graph.num_vertices
+        max_obs = int(observed.max())
+        counts = np.bincount(observed, minlength=max_obs + 1).astype(np.float64)
+        p_add = p * addition_probability(graph)
+        oracle = []
+        for w in graph.degrees():
+            w = int(w)
+            row = (
+                sparsification_transition(w, p, max_obs)
+                if scheme == "sparsification"
+                else perturbation_transition(w, p, p_add, n, max_obs)
+            )
+            oracle.append(2.0 ** _entropy_from_grouped(row, counts))
+        np.testing.assert_allclose(levels, oracle, rtol=1e-12)
 
 
 class TestCumulativeCurve:

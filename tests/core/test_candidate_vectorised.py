@@ -132,7 +132,7 @@ class TestBuilderEquivalence:
         candidate, draws_seq = _build_candidate_set(
             n, graph.edge_set(), target, probs, rng_seq
         )
-        codes, is_edge, draws_vec = _build_candidate_codes(
+        codes, is_edge, removed, draws_vec = _build_candidate_codes(
             n, graph.edge_codes(), target, sampler, rng_vec
         )
         assert draws_seq == draws_vec
@@ -143,6 +143,10 @@ class TestBuilderEquivalence:
         np.testing.assert_array_equal(
             is_edge, np.isin(codes, graph.edge_codes())
         )
+        # the removed list is exactly the edges missing from the candidates
+        np.testing.assert_array_equal(
+            removed, np.setdiff1d(graph.edge_codes(), codes)
+        )
 
     def test_c_equal_one_draws_nothing(self, star5):
         """target == |E|: both builders return E without consuming RNG."""
@@ -150,13 +154,14 @@ class TestBuilderEquivalence:
         rng_a = np.random.default_rng(0)
         rng_b = np.random.default_rng(0)
         candidate, d1 = _build_candidate_set(5, star5.edge_set(), 4, probs, rng_a)
-        codes, is_edge, d2 = _build_candidate_codes(
+        codes, is_edge, removed, d2 = _build_candidate_codes(
             5, star5.edge_codes(), 4, WeightedVertexSampler(probs), rng_b
         )
         assert d1 == d2 == 0
         assert candidate == star5.edge_set()
         np.testing.assert_array_equal(codes, star5.edge_codes())
         assert is_edge.all()
+        assert len(removed) == 0
 
     def test_stall_raises_identically(self, star5):
         """Absorbing targets stall both builders at the same draw count."""

@@ -106,16 +106,20 @@ class TestGenerateObfuscation:
                 for u, w, _ in out.uncertain.incident_pairs(int(v)):
                     assert er_graph.has_edge(u, w)
 
-    def test_true_edges_keep_high_probability_small_sigma(self):
+    @pytest.mark.parametrize("stream", ["pair_keyed", "attempt"])
+    def test_true_edges_keep_high_probability_small_sigma(self, stream):
         g = powerlaw_cluster(120, 3, 0.4, seed=0)
-        params = ObfuscationParams(k=1, eps=0.5, q=0.0, attempts=1)
+        params = ObfuscationParams(k=1, eps=0.5, q=0.0, attempts=1, stream=stream)
         out = generate_obfuscation(g, 0.01, params, seed=1)
         kept = [
             p
             for u, v, p in out.uncertain.candidate_pairs()
             if g.has_edge(u, v)
         ]
-        assert np.mean(kept) > 0.95
+        # Both streams spread σ(e) ∝ U_σ(e); their normalisers differ
+        # (candidate-set mean vs its Q-expectation), so the exact mean
+        # shifts slightly between them — both stay near-certain.
+        assert np.mean(kept) > 0.93
 
     def test_dense_graph_unreachable_target_rejected(self):
         complete = Graph.from_edges(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])

@@ -78,3 +78,27 @@ class TestFigure4:
         obf_label = next(l for l in curves if l.startswith("obf."))
         # strictly fewer (or equal) low-anonymity vertices everywhere
         assert (curves[obf_label] <= curves["original"] + 1e-9).all()
+
+    def test_baseline_curves_match_sequential_release_path(self, sweep, config):
+        """The batched baseline side (sample_releases + degree_matrix +
+        vectorised levels) reproduces the former per-release pipeline:
+        same RNG stream ⇒ same release ⇒ same curve."""
+        from repro.baselines.anonymity import randomization_anonymity_levels
+        from repro.experiments.comparison import _sample_release
+        from repro.baselines.anonymity import cumulative_anonymity_curve
+        from repro.utils.rng import as_rng
+
+        baselines = [("sparsification", 0.4), ("perturbation", 0.3)]
+        curves = figure4_data(
+            sweep, config, "dblp", baselines=baselines, k_max=25
+        )
+        graph = config.graph("dblp")
+        rng = as_rng((config.seed, 4))
+        k_grid = np.arange(1, 26, dtype=np.float64)
+        for scheme, p in baselines:
+            published = _sample_release(graph, scheme, p, rng)
+            levels = randomization_anonymity_levels(graph, published, scheme, p)
+            expected = cumulative_anonymity_curve(levels, k_grid)
+            np.testing.assert_array_equal(
+                curves[f"{scheme} p={p:g}"], expected
+            )

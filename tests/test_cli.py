@@ -71,6 +71,37 @@ class TestObfuscate:
         assert code == 0
         assert "sigma=" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("stream", ["pair_keyed", "attempt"])
+    def test_stream_flag(self, graph_file, tmp_path, stream):
+        out = tmp_path / f"r_{stream}.txt"
+        code = main(
+            [
+                "obfuscate",
+                "--input", str(graph_file),
+                "--output", str(out),
+                "--k", "2",
+                "--eps", "0.2",
+                "--attempts", "1",
+                "--delta", "0.05",
+                "--stream", stream,
+            ]
+        )
+        assert code == 0
+        assert read_uncertain_graph(str(out)).num_candidate_pairs > 0
+
+    def test_bad_stream_rejected(self, graph_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "obfuscate",
+                    "--input", str(graph_file),
+                    "--output", str(tmp_path / "x.txt"),
+                    "--k", "2",
+                    "--eps", "0.2",
+                    "--stream", "per_edge",
+                ]
+            )
+
 
 class TestVerify:
     def test_valid_release(self, graph_file, release_file, capsys):
