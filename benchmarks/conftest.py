@@ -17,7 +17,9 @@ Environment knobs (all optional):
                         baseline (default 50, the paper's count)
 
 Every table is printed to stdout (run pytest with ``-s`` or see the
-captured output) and written as CSV under ``benchmarks/results/``.
+captured output) and written as CSV under ``benchmarks/results/``, each
+row stamped with the process peak RSS (:func:`peak_rss_mb`) so memory
+regressions are as visible as wall-clock ones.
 """
 
 from __future__ import annotations
@@ -31,6 +33,33 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_obfuscation_sweep
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Uses ``resource.getrusage`` where available (``ru_maxrss`` is
+    kilobytes on Linux, bytes on macOS); falls back to the tracemalloc
+    traced peak when the ``resource`` module is missing, and to NaN when
+    neither source exists — the benchmarks still run, the column is just
+    unavailable.
+    """
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        import sys
+
+        divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
+        return peak / divisor
+    import tracemalloc
+
+    if tracemalloc.is_tracing():  # pragma: no cover - fallback path
+        return tracemalloc.get_traced_memory()[1] / (1 << 20)
+    return float("nan")  # pragma: no cover - fallback path
 
 
 def _env_float(name: str, default: float) -> float:
@@ -83,12 +112,24 @@ def cache(config) -> SweepCache:
     return SweepCache(config)
 
 
-def emit(title: str, text: str, rows, csv_name: str) -> None:
-    """Print a rendered table and persist its rows as CSV."""
+def save_results(rows, csv_name: str) -> None:
+    """Persist benchmark rows under ``results/``, stamped with peak RSS.
+
+    Every persisted row gains a ``peak_rss_mb`` column — the process
+    peak at save time — so each speedup CSV records the memory
+    high-water mark of the run that produced it alongside its
+    wall-clock numbers.
+    """
     from repro.experiments.report import save_csv
 
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rss = round(peak_rss_mb(), 1)
+    save_csv([dict(row, peak_rss_mb=rss) for row in rows], RESULTS_DIR / csv_name)
+
+
+def emit(title: str, text: str, rows, csv_name: str) -> None:
+    """Print a rendered table and persist its rows via :func:`save_results`."""
     print()
     print(f"=== {title} ===")
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    save_csv(rows, RESULTS_DIR / csv_name)
+    save_results(rows, csv_name)

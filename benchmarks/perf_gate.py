@@ -1,0 +1,111 @@
+"""Perf regression gate: committed speedup floors must hold within 15%.
+
+The speedup CSVs under ``benchmarks/results/`` are committed artifacts —
+each records the measured batched-vs-sequential ratio of one pinned
+workload.  After a fresh benchmark run rewrites them in the working
+tree, this script compares every pinned ratio against the version
+committed at ``HEAD`` and fails (exit 1) if a fresh ratio fell below
+``committed / TOLERANCE`` — a >15% regression of a workload the repo
+explicitly optimised.  Speedup *ratios* are compared rather than raw
+seconds because ratios cancel machine speed, which is what makes the
+gate meaningful on heterogeneous CI runners.
+
+Usage (after running the benchmark suite so the CSVs are fresh)::
+
+    python benchmarks/perf_gate.py
+
+Exit status: 0 = all floors hold, 1 = regression (or a gated file/row
+is missing, which would otherwise silently disable the gate).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: Fresh ratio may be at worst committed/1.15 (a 15% regression).
+TOLERANCE = 1.15
+
+#: (csv name, row-match predicate fields, ratio column) per pinned workload.
+GATES: list[tuple[str, dict[str, str], str]] = [
+    ("worlds_speedup.csv", {"backend": "batched"}, "speedup"),
+    ("obfuscation_speedup.csv", {"k": "all"}, "speedup"),
+    ("table6_speedup.csv", {"backend": "batched"}, "speedup"),
+    ("substream_speedup.csv", {"attempts": "3", "k": "all"}, "speedup"),
+    ("substream_speedup.csv", {"attempts": "5", "k": "all"}, "speedup"),
+]
+
+
+def _rows(text: str) -> list[dict[str, str]]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def _match(rows: list[dict[str, str]], where: dict[str, str]) -> dict[str, str] | None:
+    for row in rows:
+        if all(row.get(col) == value for col, value in where.items()):
+            return row
+    return None
+
+
+def _committed(name: str) -> str | None:
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:benchmarks/results/{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout if proc.returncode == 0 else None
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked = 0
+    for name, where, column in GATES:
+        label = f"{name} {where}"
+        committed_text = _committed(name)
+        if committed_text is None:
+            failures.append(f"{label}: no committed baseline at HEAD")
+            continue
+        baseline_row = _match(_rows(committed_text), where)
+        if baseline_row is None or not baseline_row.get(column):
+            failures.append(f"{label}: pinned row missing from committed CSV")
+            continue
+        fresh_path = RESULTS_DIR / name
+        if not fresh_path.exists():
+            failures.append(f"{label}: fresh CSV missing (run the benchmarks first)")
+            continue
+        fresh_row = _match(_rows(fresh_path.read_text()), where)
+        if fresh_row is None or not fresh_row.get(column):
+            failures.append(f"{label}: pinned row missing from fresh CSV")
+            continue
+        committed = float(baseline_row[column])
+        fresh = float(fresh_row[column])
+        floor = committed / TOLERANCE
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(
+            f"{verdict:>10}  {name} {where}: fresh {column}={fresh:.2f} "
+            f"vs committed {committed:.2f} (floor {floor:.2f})"
+        )
+        if fresh < floor:
+            failures.append(
+                f"{label}: {column} {fresh:.2f} < floor {floor:.2f} "
+                f"(committed {committed:.2f}, >15% regression)"
+            )
+        checked += 1
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {checked} pinned workloads within {TOLERANCE}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

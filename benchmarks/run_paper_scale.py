@@ -1,0 +1,141 @@
+"""Table 2 + Table 4 end-to-end at the paper's real dblp scale.
+
+The laptop benchmarks run 1/50th-size surrogates; this runner drives the
+same sweep on a :func:`repro.graphs.datasets.paper_scale_dataset` graph —
+dblp at ``scale=1.0`` is n = 226,413 vertices, the paper's actual Table-1
+size — and records wall-clock plus peak RSS per phase into
+``benchmarks/results/paper_scale.csv``.  It exists because PR 6 removed
+the two quadratic walls (Lemma-1 staircase, worlds-union re-sort) that
+made this size unreachable; the CSV is the receipt.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_paper_scale.py             # full n=226k
+    PYTHONPATH=src python benchmarks/run_paper_scale.py --smoke     # n≈22.6k CI job
+
+``--smoke`` runs the pinned CI subset: scale 0.1 (n ≈ 22.6k), the
+(k = 20, ε = 10⁻³) Table-2 cell and a reduced world count, writing
+``paper_scale_smoke.csv`` instead so the committed full-scale numbers
+are never overwritten by a CI run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from conftest import peak_rss_mb
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    run_obfuscation_sweep,
+    table2_rows,
+    table4_rows,
+)
+from repro.experiments.report import render_table, save_csv
+from repro.graphs.datasets import paper_scale_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_CACHE = Path(__file__).parent / "cache"
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI subset: scale 0.1, k=20, eps=1e-3, fewer worlds",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="fraction of the paper's n (default 1.0, smoke 0.1)")
+    parser.add_argument("--worlds", type=int, default=None,
+                        help="worlds per Table-4 cell (default 100, smoke 20)")
+    parser.add_argument("--k", type=int, nargs="+", default=None,
+                        help="k grid (default 20 60 100, smoke 20)")
+    parser.add_argument("--eps", type=float, nargs="+", default=None,
+                        help="paper eps grid (default 1e-3 1e-4, smoke 1e-3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
+                        help="dataset .npz cache directory")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output CSV (default results/paper_scale[_smoke].csv)")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = args.scale if args.scale is not None else (0.1 if args.smoke else 1.0)
+    worlds = args.worlds if args.worlds is not None else (20 if args.smoke else 100)
+    k_values = tuple(args.k) if args.k else ((20,) if args.smoke else (20, 60, 100))
+    eps_values = (
+        tuple(args.eps) if args.eps else ((1e-3,) if args.smoke else (1e-3, 1e-4))
+    )
+    out = args.out or RESULTS_DIR / (
+        "paper_scale_smoke.csv" if args.smoke else "paper_scale.csv"
+    )
+
+    t0 = time.perf_counter()
+    graph = paper_scale_dataset(
+        "dblp", scale=scale, seed=args.seed, cache_dir=args.cache_dir
+    )
+    t_graph = time.perf_counter() - t0
+    print(
+        f"dblp @ scale {scale:g}: n={graph.num_vertices:,} m={graph.num_edges:,} "
+        f"({t_graph:.1f}s, peak {peak_rss_mb():.0f} MiB)"
+    )
+
+    config = ExperimentConfig(
+        datasets=("dblp",),
+        scale=scale,
+        k_values=k_values,
+        eps_values=eps_values,
+        worlds=worlds,
+        seed=args.seed,
+        dataset_seed=args.seed,
+    )
+    # Hand the paper-scale graph to the harness under its own cache key —
+    # every runner (sweep, eps_for, utility) then sees the real-size
+    # graph instead of building a laptop surrogate.
+    config._graph_cache[("dblp", scale, args.seed)] = graph
+
+    rows: list[dict] = []
+    meta = {
+        "table": "meta",
+        "dataset": "dblp",
+        "scale": scale,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "worlds": worlds,
+        "graph_sec": round(t_graph, 2),
+    }
+
+    t1 = time.perf_counter()
+    sweep = run_obfuscation_sweep(config)
+    t_sweep = time.perf_counter() - t1
+    meta["table2_sec"] = round(t_sweep, 2)
+    meta["table2_peak_rss_mb"] = round(peak_rss_mb(), 1)
+    t2_rows = table2_rows(sweep)
+    print(render_table(t2_rows, title=f"Table 2 @ n={graph.num_vertices:,}"))
+    print(f"[table2] {t_sweep:.1f}s, peak {peak_rss_mb():.0f} MiB")
+    rows.extend({"table": "table2", "dataset": "dblp", **r} for r in t2_rows)
+
+    t2 = time.perf_counter()
+    utility_sweep = [e for e in sweep if e.paper_eps == min(eps_values)]
+    t4_rows = table4_rows(utility_sweep, config, cache={})
+    t_util = time.perf_counter() - t2
+    meta["table4_sec"] = round(t_util, 2)
+    meta["table4_peak_rss_mb"] = round(peak_rss_mb(), 1)
+    print(render_table(t4_rows, title=f"Table 4 @ n={graph.num_vertices:,}"))
+    print(f"[table4] {t_util:.1f}s, peak {peak_rss_mb():.0f} MiB")
+    rows.extend({"table": "table4", **r} for r in t4_rows)
+
+    meta["total_sec"] = round(time.perf_counter() - t0, 2)
+    meta["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    rows.append(meta)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_csv(rows, out)
+    print(f"wrote {out} (total {meta['total_sec']}s, peak {meta['peak_rss_mb']} MiB)")
+
+
+if __name__ == "__main__":
+    main()

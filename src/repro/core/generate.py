@@ -824,14 +824,17 @@ def _generate_pair_keyed_array(
     elif params.method == "exact":
         exact_limit = np.iinfo(np.int64).max
         x_width = width
+        # Full-exact mode has no CLT escape hatch, so hub rows can be
+        # arbitrarily wide; kernel="auto" sends rows past
+        # TREE_CROSSOVER_WIDTH to the O(s log² s) tree-product kernel.
         base = degree_posterior_matrix(
-            e_indptr, e_data, method="exact", width=x_width
+            e_indptr, e_data, method="exact", width=x_width, kernel="auto"
         )
     else:
         exact_limit = AUTO_EXACT_LIMIT
         x_width = min(width, AUTO_EXACT_LIMIT + 1)
         base = degree_posterior_matrix(
-            e_indptr, e_data, method="auto", width=x_width
+            e_indptr, e_data, method="auto", width=x_width, kernel="auto"
         )
     mu_edge, pq_edge = _segment_moments(e_data, e_indptr[:-1], e_indptr[1:])
 
@@ -916,7 +919,11 @@ def _generate_pair_keyed_array(
         sub_indptr = np.zeros(len(rebuild) + 1, dtype=np.int64)
         np.cumsum(sub_counts, out=sub_indptr[1:])
         Xf[rebuild] = degree_posterior_matrix(
-            sub_indptr, e_data[slots][keep], method="exact", width=x_width
+            sub_indptr,
+            e_data[slots][keep],
+            method="exact",
+            width=x_width,
+            kernel="auto",
         )
 
     # Fold every attempt's additions into its exact rows in one stacked
@@ -929,6 +936,7 @@ def _generate_pair_keyed_array(
         support=counts_stack - a_counts + 1,
         active=exact_stack,
         overwrite=True,
+        kernel="auto",
     )
 
     clt_rows = np.flatnonzero(~exact_stack)

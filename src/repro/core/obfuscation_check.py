@@ -229,6 +229,7 @@ def compute_degree_posterior(
     *,
     method: str = "auto",
     width: int | None = None,
+    kernel: str = "auto",
 ) -> DegreePosterior:
     """Build the ``X_v(ω)`` matrix of an uncertain graph.
 
@@ -244,6 +245,11 @@ def compute_degree_posterior(
         plus one, i.e. no truncation).  Passing the max original degree
         plus one keeps the matrix small when only Definition-2 checks are
         needed; truncated tail mass is discarded, never lumped.
+    kernel:
+        Exact-row convolution kernel forwarded to
+        :func:`repro.core.posterior_batch.degree_posterior_matrix`:
+        ``"staircase"``, ``"tree"``, or ``"auto"`` (dispatch on
+        :data:`repro.core.degree_distribution.TREE_CROSSOVER_WIDTH`).
 
     Returns
     -------
@@ -258,7 +264,9 @@ def compute_degree_posterior(
     equivalence tests pin the engine against.
     """
     indptr, data = uncertain.incident_probability_csr()
-    matrix = degree_posterior_matrix(indptr, data, method=method, width=width)
+    matrix = degree_posterior_matrix(
+        indptr, data, method=method, width=width, kernel=kernel
+    )
     return DegreePosterior(matrix)
 
 
@@ -292,6 +300,7 @@ def tolerance_achieved(
     k: float,
     *,
     method: str = "auto",
+    kernel: str = "auto",
     posterior: DegreePosterior | None = None,
 ) -> float:
     """``ε' = |{v not k-obfuscated}| / n`` (Line 20 of Algorithm 2).
@@ -309,6 +318,8 @@ def tolerance_achieved(
         Required obfuscation level.
     method:
         Degree-PMF method forwarded to :func:`compute_degree_posterior`.
+    kernel:
+        Exact-row kernel forwarded to :func:`compute_degree_posterior`.
     posterior:
         Pre-computed posterior to reuse, if available.
     """
@@ -317,7 +328,9 @@ def tolerance_achieved(
         if uncertain is None:
             raise ValueError("need an uncertain graph or a precomputed posterior")
         width = max(int(original_degrees.max(initial=0)) + 1, 1)
-        posterior = compute_degree_posterior(uncertain, method=method, width=width)
+        posterior = compute_degree_posterior(
+            uncertain, method=method, width=width, kernel=kernel
+        )
     mask = posterior.k_obfuscated(original_degrees, k)
     return float((~mask).sum()) / max(len(mask), 1)
 

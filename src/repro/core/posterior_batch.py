@@ -14,7 +14,12 @@ vectorised passes over a CSR export of the incident probabilities
   one NumPy pass advances *every* vertex in the bucket by one Bernoulli.
   The fold is truncated at the requested ``width``: DP entry ``j``
   depends only on entries ``≤ j``, so the retained prefix is bit-for-bit
-  identical to folding the full support and cutting afterwards.
+  identical to folding the full support and cutting afterwards.  Rows
+  wider than the measured
+  :data:`repro.core.degree_distribution.TREE_CROSSOVER_WIDTH` dispatch
+  to the O(s log² s) tree-product/FFT kernel
+  (:func:`poisson_binomial_pmf_tree`) under ``kernel="auto"``; the
+  staircase remains the pinned oracle.
 * **CLT batch** — large-ℓ vertices take the §4 normal approximation with
   a single ``(rows, width+1)`` array-``erf`` evaluation instead of a
   per-bin ``math.erf`` loop per vertex.
@@ -28,17 +33,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.degree_distribution import AUTO_EXACT_LIMIT, _SQRT2, erf_array
+from repro.core.degree_distribution import (
+    AUTO_EXACT_LIMIT,
+    TREE_CROSSOVER_WIDTH,
+    _SQRT2,
+    erf_array,
+)
 from repro.graphs.traversal import multi_range
 
 __all__ = [
     "poisson_binomial_pmf_batch",
+    "poisson_binomial_pmf_tree",
     "normal_approx_pmf_batch",
     "degree_posterior_matrix",
     "fold_in_bernoulli",
     "fold_in_staircase",
     "fold_out_bernoulli",
     "IncrementalDegreePosterior",
+    "TREE_FFT_MIN_DEGREE",
 ]
 
 #: Fold-out stability bound: the inverse Lemma-1 recurrence amplifies
@@ -107,6 +119,154 @@ def poisson_binomial_pmf_batch(
         )
         out[:, 0] *= 1.0 - p[:, 0]
     return out
+
+
+#: Per-side polynomial degree at which a tree level's pairwise products
+#: switch from direct shift-multiply-add convolution to real-FFT
+#: convolution.  Below it the O(d²) direct form is a handful of fat
+#: array ops; above it the O(d log d) transform wins despite the
+#: power-of-two padding.
+TREE_FFT_MIN_DEGREE = 32
+
+
+def poisson_binomial_pmf_tree(
+    prob_matrix: np.ndarray, *, support: int | None = None
+) -> np.ndarray:
+    """Poisson-binomial PMFs via hierarchical pairwise convolution.
+
+    Each Bernoulli(p) is the degree-1 polynomial ``(1-p) + p·x``; the
+    PMF of the sum is the product of all ℓ polynomials.  Instead of the
+    staircase DP's one-at-a-time fold (O(ℓ·support) per row), the
+    factors are multiplied *pairwise, leaf to root*: level ``k`` holds
+    ``ℓ/2^k`` polynomials of degree ``2^k``, each pairwise product is a
+    batched convolution — direct shift-multiply-add below
+    :data:`TREE_FFT_MIN_DEGREE`, ``np.fft.rfft``/``irfft`` above — for
+    a total of O(s log² s) per row on a support of width ``s``.
+
+    Intermediate supports are truncated to the requested ``support``
+    at every level: convolution coefficient ``j`` depends only on
+    input coefficients ``≤ j``, so the retained prefix matches the
+    untruncated product exactly (same dropped-tail convention as
+    :func:`poisson_binomial_pmf_batch`).  The FFT path's round-trip
+    rounding can leave coefficients a few ulp below zero; they are
+    clipped to 0, and the result is pinned ≤1e-10 against the
+    staircase oracle by the kernel tests.
+
+    The leaf count is padded to a power of two with identity
+    polynomials (``p = 0`` addends, a numerical no-op under direct
+    convolution), so a row's level schedule — and hence its exact
+    floating-point result — depends only on its own probabilities,
+    ``ceil_pow2(ℓ)`` and ``support``.  :func:`degree_posterior_matrix`
+    groups rows by that padded width precisely so ``kernel="auto"``
+    output bit-matches a pure ``kernel="tree"`` pass.
+
+    Parameters
+    ----------
+    prob_matrix:
+        ``(rows, ℓ)`` matrix of Bernoulli success probabilities
+        (zero-padding ragged rows is exact, as for the staircase).
+    support:
+        Output has ``support + 1`` columns (default ℓ); truncated tail
+        mass is dropped, never lumped.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(rows, support + 1)`` matrix of point probabilities.
+    """
+    prob_matrix = np.asarray(prob_matrix, dtype=np.float64)
+    if prob_matrix.ndim != 2:
+        raise ValueError("prob_matrix must be 2-D (rows × addends)")
+    rows, ell = prob_matrix.shape
+    if prob_matrix.size and (
+        prob_matrix.min() < 0.0 or prob_matrix.max() > 1.0
+    ):
+        raise ValueError("Bernoulli probabilities must lie in [0, 1]")
+    width = ell if support is None else int(support)
+    if width < 0:
+        raise ValueError(f"support must be non-negative, got {support}")
+    out = np.zeros((rows, width + 1), dtype=np.float64)
+    if rows == 0:
+        return out
+    if ell == 0:
+        out[:, 0] = 1.0
+        return out
+    if width == 0:
+        # only the constant term survives: ∏(1-p)
+        out[:, 0] = np.prod(1.0 - prob_matrix, axis=1)
+        return out
+    padded = 1 << (ell - 1).bit_length()
+    polys = np.zeros((rows, padded, 2), dtype=np.float64)
+    polys[:, :, 0] = 1.0
+    polys[:, :ell, 0] = 1.0 - prob_matrix
+    polys[:, :ell, 1] = prob_matrix
+    while polys.shape[1] > 1:
+        a = polys[:, 0::2]
+        b = polys[:, 1::2]
+        d = polys.shape[2] - 1
+        out_deg = min(2 * d, width)
+        if d < TREE_FFT_MIN_DEGREE:
+            prod = np.zeros((rows, a.shape[1], out_deg + 1), dtype=np.float64)
+            for t in range(min(d, out_deg) + 1):
+                hi = min(d, out_deg - t)
+                prod[:, :, t : t + hi + 1] += (
+                    a[:, :, t : t + 1] * b[:, :, : hi + 1]
+                )
+        else:
+            # nfft ≥ 2d+1 so the circular convolution never wraps into
+            # the retained prefix, even when out_deg truncates.
+            nfft = 1 << (2 * d).bit_length()
+            fa = np.fft.rfft(a, nfft, axis=2)
+            fa *= np.fft.rfft(b, nfft, axis=2)
+            prod = np.fft.irfft(fa, nfft, axis=2)[:, :, : out_deg + 1]
+            np.clip(prod, 0.0, None, out=prod)
+        polys = prod
+    # Degrees above ell are impossible; clip the copy there so FFT
+    # round-off in the identity-padded tail never leaks past the true
+    # support (the staircase writes exact zeros in those columns).
+    keep = min(polys.shape[2], ell + 1)
+    out[:, :keep] = polys[:, 0, :keep]
+    return out
+
+
+def _padded_leaf_widths(counts: np.ndarray) -> np.ndarray:
+    """``ceil_pow2(count)`` per row — the tree kernel's leaf padding.
+
+    ``frexp`` exponents are exact for integers below 2⁵³, so this is a
+    branch-free vectorised ``1 << (count - 1).bit_length()`` (with
+    ``count = 1 → 1``).
+    """
+    _, exp = np.frexp((np.asarray(counts, dtype=np.int64) - 1).astype(np.float64))
+    return np.int64(1) << exp.astype(np.int64)
+
+
+def _tree_fill(
+    X: np.ndarray,
+    vertices: np.ndarray,
+    counts: np.ndarray,
+    indptr: np.ndarray,
+    data: np.ndarray,
+    width: int,
+) -> None:
+    """Fill posterior rows via the tree kernel, grouped by padded width.
+
+    Grouping rows by their padded leaf count keeps every row's level
+    schedule a function of its own addend count alone, so a row lands
+    on identical IEEE operations whether it arrived via
+    ``kernel="tree"`` (all exact rows) or ``kernel="auto"`` (wide rows
+    only) — the dispatch property the kernel tests pin bit-for-bit.
+    """
+    pow2 = _padded_leaf_widths(counts)
+    for pw in np.unique(pow2):
+        sel = np.flatnonzero(pow2 == pw)
+        group = vertices[sel]
+        cs = counts[sel]
+        gmax = int(cs.max())
+        P = np.zeros((len(group), gmax), dtype=np.float64)
+        P[np.arange(gmax)[None, :] < cs[:, None]] = data[
+            multi_range(indptr[group], cs)
+        ]
+        X[group, :width] = poisson_binomial_pmf_tree(P, support=width - 1)
 
 
 def normal_approx_pmf_batch(
@@ -181,6 +341,7 @@ def degree_posterior_matrix(
     method: str = "auto",
     width: int | None = None,
     out: np.ndarray | None = None,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """The full ``(n, width)`` X matrix from CSR incident probabilities.
 
@@ -204,6 +365,17 @@ def degree_posterior_matrix(
         Optional preallocated ``(n, width)`` float64 buffer to fill and
         return (zeroed first) — the incremental engine reuses its
         matrix across rebuilds instead of allocating per attempt.
+    kernel:
+        Exact-row evaluation kernel: ``"staircase"`` (the Lemma-1 DP,
+        O(ℓ²) per row), ``"tree"``
+        (:func:`poisson_binomial_pmf_tree`, O(ℓ log² ℓ)), or ``"auto"``
+        — staircase for rows up to
+        :data:`repro.core.degree_distribution.TREE_CROSSOVER_WIDTH`
+        addends (where it is measurably faster) and tree above.  Rows
+        are kernel-batch-independent, so ``"auto"`` output bit-matches
+        whichever kernel each row dispatches to.  The crossover sits
+        above :data:`repro.core.AUTO_EXACT_LIMIT`, so ``method="auto"``
+        results are identical for every ``kernel`` value.
 
     Returns
     -------
@@ -232,6 +404,8 @@ def degree_posterior_matrix(
         exact_mask = np.zeros(n, dtype=bool)
     else:
         raise ValueError(f"unknown method {method!r}; use exact/normal/auto")
+    if kernel not in ("auto", "tree", "staircase"):
+        raise ValueError(f"unknown kernel {kernel!r}; use staircase/tree/auto")
 
     if out is None:
         X = np.zeros((n, width), dtype=np.float64)
@@ -243,6 +417,21 @@ def degree_posterior_matrix(
 
     exact_vertices = np.flatnonzero(exact_mask)
     if exact_vertices.size:
+        exact_counts = counts[exact_vertices]
+        if kernel == "staircase":
+            tree_sel = np.zeros(len(exact_vertices), dtype=bool)
+        elif kernel == "tree":
+            tree_sel = exact_counts > 0
+        else:
+            tree_sel = exact_counts > TREE_CROSSOVER_WIDTH
+        tree_vertices = exact_vertices[tree_sel]
+        if tree_vertices.size:
+            _tree_fill(
+                X, tree_vertices, exact_counts[tree_sel], indptr, data, width
+            )
+        exact_vertices = exact_vertices[~tree_sel]
+        exact_counts = exact_counts[~tree_sel]
+    if exact_vertices.size:
         # Staircase fold: vertices sorted by descending addend count form
         # a single matrix whose *active prefix* shrinks as the fold
         # advances — step s touches exactly the rows with ℓ > s.  One
@@ -250,7 +439,6 @@ def degree_posterior_matrix(
         # every exact vertex by one Bernoulli; a row that runs out of
         # addends simply stops updating, leaving its finished PMF behind.
         # Per-element arithmetic is identical to the scalar DP.
-        exact_counts = counts[exact_vertices]
         order = np.argsort(-exact_counts, kind="stable")
         sorted_vertices = exact_vertices[order]
         sorted_counts = exact_counts[order]
@@ -432,6 +620,7 @@ def fold_in_staircase(
     support: np.ndarray | None = None,
     active: np.ndarray | None = None,
     overwrite: bool = False,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """Fold a ragged batch of Bernoullis into warm DP rows.
 
@@ -480,6 +669,12 @@ def fold_in_staircase(
         When true, ``rows`` (which must be a C-contiguous float64
         array) is updated in place and returned — the probe path's
         stack is large enough that a defensive copy would dominate.
+    kernel:
+        Stage-1 product-polynomial kernel, per row-width:
+        ``"staircase"``, ``"tree"``, or ``"auto"`` (staircase up to
+        :data:`repro.core.degree_distribution.TREE_CROSSOVER_WIDTH`
+        entries per row, the tree-product/FFT kernel above) — the same
+        dispatch as :func:`degree_posterior_matrix`.
 
     Returns
     -------
@@ -504,6 +699,8 @@ def fold_in_staircase(
         raise ValueError("rows must be (R, width) with R + 1 indptr offsets")
     if data.size and (data.min() < 0.0 or data.max() > 1.0):
         raise ValueError("Bernoulli probabilities must lie in [0, 1]")
+    if kernel not in ("auto", "tree", "staircase"):
+        raise ValueError(f"unknown kernel {kernel!r}; use staircase/tree/auto")
     width = rows.shape[1]
     counts = np.diff(indptr)
     if active is not None:
@@ -524,31 +721,58 @@ def fold_in_staircase(
     starts = indptr[order]
     poly = np.zeros((len(order), min(jmax, width - 1) + 1), dtype=np.float64)
     poly[:, 0] = 1.0
-    hist = np.bincount(sorted_counts, minlength=jmax + 1)
-    ks = len(order) - np.cumsum(hist)[:jmax]
-    dense = len(order) * jmax <= _DENSE_ADDEND_BUDGET
-    if dense:
-        # Column-major padded addend matrix, filled with one flat
-        # scatter (entry e of sorted row r lands at PT[e, r]) — far
-        # cheaper than a boolean-masked assignment into (rows, jmax).
-        total = int(sorted_counts.sum())
-        flat_start = np.concatenate([[0], np.cumsum(sorted_counts[:-1])])
-        within = np.arange(total, dtype=np.int64) - np.repeat(
-            flat_start, sorted_counts
+    if kernel == "staircase":
+        nwide = 0
+    elif kernel == "tree":
+        nwide = len(order)
+    else:
+        # Descending sort ⇒ rows beyond the crossover form a prefix.
+        nwide = int(
+            np.searchsorted(-sorted_counts, -TREE_CROSSOVER_WIDTH, side="left")
         )
-        row_of = np.repeat(
-            np.arange(len(order), dtype=np.int64), sorted_counts
-        )
-        PT = np.zeros((jmax, len(order)), dtype=np.float64)
-        PT[within, row_of] = data[multi_range(starts, sorted_counts)]
-    for step in range(jmax):
-        k = int(ks[step])
-        p = PT[step, :k, None] if dense else data[starts[:k] + step][:, None]
-        filled = min(step + 1, poly.shape[1] - 1)
-        shifted = poly[:k, :filled] * p
-        prefix = poly[:k, : filled + 1]
-        prefix *= 1.0 - p
-        prefix[:, 1:] += shifted
+    if nwide:
+        # Wide rows: product polynomial via the tree kernel, grouped by
+        # padded leaf width (same per-row determinism as _tree_fill).
+        pow2 = _padded_leaf_widths(sorted_counts[:nwide])
+        sup = poly.shape[1] - 1
+        for pw in np.unique(pow2):
+            sel = np.flatnonzero(pow2 == pw)
+            cs = sorted_counts[sel]
+            gmax = int(cs.max())
+            P = np.zeros((len(sel), gmax), dtype=np.float64)
+            P[np.arange(gmax)[None, :] < cs[:, None]] = data[
+                multi_range(starts[sel], cs)
+            ]
+            poly[sel] = poisson_binomial_pmf_tree(P, support=sup)
+    narrow = len(order) - nwide
+    if narrow:
+        starts_n = starts[nwide:]
+        counts_n = sorted_counts[nwide:]
+        jnarrow = int(counts_n[0])
+        hist = np.bincount(counts_n, minlength=jnarrow + 1)
+        ks = narrow - np.cumsum(hist)[:jnarrow]
+        dense = narrow * jnarrow <= _DENSE_ADDEND_BUDGET
+        if dense:
+            # Column-major padded addend matrix, filled with one flat
+            # scatter (entry e of sorted row r lands at PT[e, r]) — far
+            # cheaper than a boolean-masked assignment into (rows, jmax).
+            total = int(counts_n.sum())
+            flat_start = np.concatenate([[0], np.cumsum(counts_n[:-1])])
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                flat_start, counts_n
+            )
+            row_of = np.repeat(np.arange(narrow, dtype=np.int64), counts_n)
+            PT = np.zeros((jnarrow, narrow), dtype=np.float64)
+            PT[within, row_of] = data[multi_range(starts_n, counts_n)]
+        npoly = poly[nwide:]
+        for step in range(jnarrow):
+            k = int(ks[step])
+            p = PT[step, :k, None] if dense else data[starts_n[:k] + step][:, None]
+            filled = min(step + 1, poly.shape[1] - 1)
+            shifted = npoly[:k, :filled] * p
+            prefix = npoly[:k, : filled + 1]
+            prefix *= 1.0 - p
+            prefix[:, 1:] += shifted
 
     # Stage 2 — convolve each polynomial into its warm row:
     # ``out[ω] = Σ_t base[ω-t]·poly[t]`` is a banded matvec, so each

@@ -52,7 +52,7 @@ from repro.graphs.graph import Graph
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.utils.rng import as_rng
 from repro.worlds.estimator import BatchStatisticsEngine
-from repro.worlds.releases import sample_releases
+from repro.worlds.releases import sample_releases, stream_releases
 from repro.worlds.stats_batch import degree_matrix
 
 #: Default calibration grid, containing the paper's hand-picked values.
@@ -174,12 +174,15 @@ def baseline_utility_row(
 ) -> dict:
     """Mean statistics over sampled releases + avg relative error vs original.
 
-    ``config.baseline_backend`` selects the engine: ``"batched"`` draws
-    all ``config.baseline_samples`` releases as one
-    :class:`~repro.worlds.batch.WorldBatch` and evaluates the ten paper
-    statistics through the multi-world kernels; ``"sequential"``
-    measures one materialised release at a time.  Same seed ⇒ same
-    releases ⇒ rows agreeing to ≤1e-9.
+    ``config.baseline_backend`` selects the engine: ``"batched"``
+    streams the ``config.baseline_samples`` releases through bounded
+    :class:`~repro.worlds.batch.WorldBatch` chunks
+    (:func:`~repro.worlds.releases.stream_releases`, so the full
+    cross-release union edge list of high-``p`` perturbation never
+    materialises) and evaluates the ten paper statistics through the
+    multi-world kernels; ``"sequential"`` measures one materialised
+    release at a time.  Same seed ⇒ same releases ⇒ rows agreeing to
+    ≤1e-9.
 
     ``original`` lets callers that emit several rows for one dataset
     (``table6_rows``) reuse the original graph's statistics instead of
@@ -193,11 +196,11 @@ def baseline_utility_row(
         original = {name: float(func(graph)) for name, func in stats.items()}
     rng = scheme_stream(config.seed, scheme)
     if backend == "batched":
-        batch = sample_releases(
-            graph, scheme, p, config.baseline_samples, seed=rng
-        )
-        values, _ = BatchStatisticsEngine(stats).evaluate(
-            batch, list(PAPER_STATISTIC_NAMES)
+        values = BatchStatisticsEngine(stats).evaluate_stream(
+            stream_releases(
+                graph, scheme, p, config.baseline_samples, seed=rng
+            ),
+            list(PAPER_STATISTIC_NAMES),
         )
     else:
         sums = {name: [] for name in PAPER_STATISTIC_NAMES}

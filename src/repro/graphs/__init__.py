@@ -6,12 +6,15 @@ from repro.graphs.datasets import (
     dblp_like,
     flickr_like,
     load_dataset,
+    paper_degree_exponent,
+    paper_scale_dataset,
     y360_like,
 )
 from repro.graphs.generators import (
     affiliation_graph,
     barabasi_albert,
     configuration_model,
+    configuration_model_edges,
     configuration_model_powerlaw,
     erdos_renyi,
     powerlaw_cluster,
@@ -60,6 +63,7 @@ __all__ = [
     "watts_strogatz",
     "powerlaw_degree_sequence",
     "configuration_model",
+    "configuration_model_edges",
     "configuration_model_powerlaw",
     "DatasetSpec",
     "DATASET_SPECS",
@@ -67,6 +71,8 @@ __all__ = [
     "flickr_like",
     "y360_like",
     "load_dataset",
+    "paper_degree_exponent",
+    "paper_scale_dataset",
     "read_edge_list",
     "write_edge_list",
 ]

@@ -54,6 +54,34 @@ def draw_packed_keep_bits(rng, worlds: int, m: int, predicate) -> np.ndarray:
     return np.concatenate(parts, axis=0)
 
 
+class _UnionIncidence:
+    """Sorted directed incidence of one candidate-pair array set.
+
+    Pair ``j = (u, v)`` contributes the two directed incidences
+    ``u → v`` and ``v → u``; sorting them once by ``(head, tail)`` fixes,
+    for every possible world, the relative order its kept incidences
+    appear in a CSR.  ``pair[s]`` maps sorted slot ``s`` back to the
+    candidate pair it came from, so a batch's CSR reduces to one boolean
+    gather + ``np.nonzero`` — no per-batch ``lexsort`` over kept edges.
+    Built lazily and shared by every :meth:`WorldBatch.slice` view of the
+    same candidate arrays (worlds share ≥90% of kept pairs at paper σ,
+    and the sort cost is per *pair set*, not per slice).
+    """
+
+    __slots__ = ("heads", "tails", "pair")
+
+    def __init__(self, us: np.ndarray, vs: np.ndarray):
+        m = len(us)
+        heads = np.concatenate([us, vs]).astype(np.int64, copy=False)
+        tails = np.concatenate([vs, us]).astype(np.int64, copy=False)
+        order = np.lexsort((tails, heads))
+        self.heads = heads[order]
+        self.tails = tails[order]
+        self.pair = np.concatenate(
+            [np.arange(m, dtype=np.int64)] * 2
+        )[order] if m else np.zeros(0, dtype=np.int64)
+
+
 class WorldBatch:
     """``W`` possible worlds of one uncertain graph, held as packed bits.
 
@@ -78,6 +106,7 @@ class WorldBatch:
         "_packed",
         "_flat",
         "_csr",
+        "_union_cell",
     )
 
     def __init__(
@@ -87,6 +116,8 @@ class WorldBatch:
         vs: np.ndarray,
         packed: np.ndarray,
         num_pairs: int,
+        *,
+        union_cell: list | None = None,
     ):
         self._n = int(n)
         self._us = us
@@ -96,6 +127,9 @@ class WorldBatch:
         self._num_pairs = int(num_pairs)
         self._flat: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        # One-element holder for the lazily built sorted incidence, so a
+        # slice built *before* the parent's CSR still shares the result.
+        self._union_cell: list = union_cell if union_cell is not None else [None]
 
     # ------------------------------------------------------------------
     # construction
@@ -232,16 +266,34 @@ class WorldBatch:
             world's own CSR.  Built once per batch and cached.
         """
         if self._csr is None:
-            w_idx, us, vs = self.flat_edges()
+            union = self.union_incidence()
+            # Gathering the keep matrix through ``union.pair`` lays every
+            # world's incidences out in (head, tail) order, so one C-order
+            # ``np.nonzero`` replaces the former per-batch full lexsort:
+            # rows ascend by world, columns by sorted slot, i.e. exactly
+            # the (w·n + head, tail) order the lexsort produced (the keys
+            # are unique — candidate pairs are distinct within a world).
+            keep = self.keep_matrix()[:, union.pair]
+            w_idx, slot = np.nonzero(keep)
             offset = w_idx * np.int64(self._n)
-            heads = np.concatenate([offset + us, offset + vs])
-            tails = np.concatenate([offset + vs, offset + us])
-            order = np.lexsort((tails, heads))
-            counts = np.bincount(heads, minlength=self._num_worlds * self._n)
+            counts = np.bincount(
+                offset + union.heads[slot], minlength=self._num_worlds * self._n
+            )
             indptr = np.zeros(self._num_worlds * self._n + 1, dtype=np.int64)
             np.cumsum(counts, out=indptr[1:])
-            self._csr = (indptr, tails[order])
+            self._csr = (indptr, offset + union.tails[slot])
         return self._csr
+
+    def union_incidence(self) -> _UnionIncidence:
+        """The shared sorted directed incidence of the candidate pairs.
+
+        Built once per candidate-pair array set and reused by every
+        :meth:`slice` view (the holder travels with the slice), so
+        chunked evaluation sorts the union structure exactly once.
+        """
+        if self._union_cell[0] is None:
+            self._union_cell[0] = _UnionIncidence(self._us, self._vs)
+        return self._union_cell[0]
 
     def slice(self, lo: int, hi: int) -> "WorldBatch":
         """Worlds ``lo:hi`` as a new batch sharing the candidate arrays.
@@ -258,7 +310,12 @@ class WorldBatch:
                 f"slice [{lo}, {hi}) out of range [0, {self._num_worlds}]"
             )
         return WorldBatch(
-            self._n, self._us, self._vs, self._packed[lo:hi], self._num_pairs
+            self._n,
+            self._us,
+            self._vs,
+            self._packed[lo:hi],
+            self._num_pairs,
+            union_cell=self._union_cell,
         )
 
     # ------------------------------------------------------------------

@@ -211,6 +211,48 @@ class BatchStatisticsEngine:
             return values, graphs
         return self._evaluate_one(batch, names, collect_worlds=collect_worlds)
 
+    def evaluate_stream(
+        self,
+        batches,
+        names: list[str] | None = None,
+        *,
+        chunk_size: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Per-world values over an *iterable* of batches, concatenated.
+
+        The memory-bounded companion of :meth:`evaluate`: each batch is
+        evaluated (and its union edge structure materialised) only while
+        it is the current element, so feeding the generator from
+        :func:`repro.worlds.releases.stream_releases` runs high-``p``
+        perturbation baselines without ever holding the full
+        cross-release union edge list.  Worlds never interact, so the
+        concatenated values equal one monolithic :meth:`evaluate` over
+        all worlds (pinned by ``tests/worlds/test_releases.py``).
+
+        Parameters
+        ----------
+        batches:
+            Iterable of :class:`WorldBatch` (e.g. a ``stream_releases``
+            generator).  Consumed once.
+        names, chunk_size:
+            As for :meth:`evaluate`.
+        """
+        if names is None:
+            names = list(self._statistics)
+        parts: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        for batch in batches:
+            chunk, _ = self.evaluate(batch, names, chunk_size=chunk_size)
+            for name in names:
+                parts[name].append(chunk[name])
+        return {
+            name: (
+                np.concatenate(parts[name])
+                if parts[name]
+                else np.empty(0, dtype=np.float64)
+            )
+            for name in names
+        }
+
     def _evaluate_one(
         self,
         batch: WorldBatch,

@@ -112,6 +112,79 @@ def _sparsification_batch(
     return WorldBatch(n, edges[:, 0].copy(), edges[:, 1].copy(), packed, m)
 
 
+def _merge_sorted_unique(union: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Merge the sorted-unique ``codes`` into the sorted-unique ``union``.
+
+    One ``searchsorted`` + scatter per release instead of the former
+    sort of the full concatenated code list: the union index grows
+    append-style, cost ``O(|union| + |codes| log |union|)`` per merge,
+    and already-present codes are dropped without touching the rest.
+    """
+    if len(union) == 0:
+        return codes
+    if len(codes) == 0:
+        return union
+    pos = np.searchsorted(union, codes)
+    pos_safe = np.minimum(pos, len(union) - 1)
+    new = codes[union[pos_safe] != codes]
+    if len(new) == 0:
+        return union
+    out = np.empty(len(union) + len(new), dtype=np.int64)
+    ins = np.searchsorted(union, new) + np.arange(len(new), dtype=np.int64)
+    mask = np.ones(len(out), dtype=bool)
+    out[ins] = new
+    mask[ins] = False
+    out[mask] = union
+    return out
+
+
+def _perturbation_draws(
+    rng, graph: Graph, p: float, worlds: int
+) -> tuple[np.ndarray, list[np.ndarray], np.ndarray]:
+    """The per-release RNG passes: keep rows, addition codes, union index.
+
+    Consumes the stream exactly like ``worlds`` sequential perturbation
+    releases (keep draw then addition pass, release by release).  The
+    union of added pair codes is maintained incrementally — each
+    release's codes arrive strictly increasing from the geometric-skip
+    sampler and are merged by :func:`_merge_sorted_unique`, so no full
+    re-sort of the concatenated additions ever happens.
+    """
+    m = graph.num_edges
+    n = graph.num_vertices
+    edge_codes = graph.edge_codes()
+    keep_rows = np.zeros((worlds, m), dtype=bool)
+    added_codes: list[np.ndarray] = []
+    union = np.empty(0, dtype=np.int64)
+    for w in range(worlds):
+        if m:
+            keep_rows[w] = _keep_mask(rng, m, p)
+        added = sample_added_pairs(graph, p, rng, edge_codes=edge_codes)
+        codes = added[:, 0] * np.int64(n) + added[:, 1]
+        added_codes.append(codes)
+        union = _merge_sorted_unique(union, codes)
+    return keep_rows, added_codes, union
+
+
+def _assemble_perturbation(
+    n: int,
+    edges: np.ndarray,
+    keep_rows: np.ndarray,
+    added_codes: list[np.ndarray],
+    union: np.ndarray,
+) -> WorldBatch:
+    """Shared column space + per-release keep rows → one batch."""
+    m = len(edges)
+    keep = np.zeros((len(added_codes), m + len(union)), dtype=bool)
+    keep[:, :m] = keep_rows
+    for w, codes in enumerate(added_codes):
+        if len(codes):
+            keep[w, m + np.searchsorted(union, codes)] = True
+    us = np.concatenate([edges[:, 0], union // n])
+    vs = np.concatenate([edges[:, 1], union % n])
+    return WorldBatch.from_keep_matrix(n, us, vs, keep)
+
+
 def _perturbation_batch(
     rng, graph: Graph, edges: np.ndarray, p: float, worlds: int
 ) -> WorldBatch:
@@ -122,25 +195,57 @@ def _perturbation_batch(
     original edges and its own additions.  All releases then share one
     column space, which is exactly the shape the batched kernels need.
     """
-    n, m = graph.num_vertices, len(edges)
-    edge_codes = graph.edge_codes()
-    keep_rows = np.zeros((worlds, m), dtype=bool)
-    added_codes: list[np.ndarray] = []
-    for w in range(worlds):
-        if m:
-            keep_rows[w] = _keep_mask(rng, m, p)
-        added = sample_added_pairs(graph, p, rng, edge_codes=edge_codes)
-        added_codes.append(added[:, 0] * np.int64(n) + added[:, 1])
-    union = (
-        np.unique(np.concatenate(added_codes))
-        if added_codes and sum(len(c) for c in added_codes)
-        else np.empty(0, dtype=np.int64)
-    )
-    keep = np.zeros((worlds, m + len(union)), dtype=bool)
-    keep[:, :m] = keep_rows
-    for w, codes in enumerate(added_codes):
-        if len(codes):
-            keep[w, m + np.searchsorted(union, codes)] = True
-    us = np.concatenate([edges[:, 0], union // n])
-    vs = np.concatenate([edges[:, 1], union % n])
-    return WorldBatch.from_keep_matrix(n, us, vs, keep)
+    keep_rows, added_codes, union = _perturbation_draws(rng, graph, p, worlds)
+    return _assemble_perturbation(graph.num_vertices, edges, keep_rows, added_codes, union)
+
+
+def stream_releases(
+    graph: Graph,
+    scheme: str,
+    p: float,
+    worlds: int,
+    *,
+    seed=None,
+    chunk_size: int = 32,
+):
+    """Yield the releases of :func:`sample_releases` as bounded chunks.
+
+    A generator of :class:`WorldBatch` objects of at most ``chunk_size``
+    releases each, drawn from the *same* RNG stream positions as one
+    :func:`sample_releases` call (per-release draws happen in the same
+    order, so chunking never changes which releases are produced).
+
+    The memory win is structural for perturbation: each chunk's
+    candidate columns cover only the pairs added *within that chunk*,
+    so the full cross-release union edge list — which at high ``p``
+    dwarfs the original edge set — is never materialised.  Every batch
+    kernel reads only kept incidences, so per-chunk evaluation produces
+    exactly the values the monolithic batch would (pinned by
+    ``tests/worlds/test_releases.py``).
+
+    Parameters
+    ----------
+    graph, scheme, p, worlds, seed:
+        As for :func:`sample_releases`.
+    chunk_size:
+        Maximum releases per yielded batch (the working-set bound).
+    """
+    check_probability(p, "p")
+    if worlds < 0:
+        raise ValueError(f"number of releases must be non-negative, got {worlds}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if scheme not in RELEASE_SCHEMES:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; use sparsification/perturbation"
+        )
+    rng = as_rng(seed)
+    edges = graph.edge_array()
+    for lo in range(0, worlds, chunk_size):
+        count = min(chunk_size, worlds - lo)
+        if scheme == "sparsification":
+            yield _sparsification_batch(
+                rng, graph.num_vertices, edges, p, count
+            )
+        else:
+            yield _perturbation_batch(rng, graph, edges, p, count)

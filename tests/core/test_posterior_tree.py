@@ -1,0 +1,212 @@
+"""Tree-product/FFT Lemma-1 kernel: oracle pins and dispatch property.
+
+The staircase DP (`poisson_binomial_pmf_batch`) is the pinned oracle;
+the hierarchical pairwise-convolution kernel
+(`poisson_binomial_pmf_tree`) must agree to ≤1e-10 everywhere, and
+``kernel="auto"`` must *bit-match* whichever kernel it dispatches each
+row to — the property that makes the dispatch a pure performance choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_distribution import (
+    TREE_CROSSOVER_WIDTH,
+    poisson_binomial_pmf,
+)
+from repro.core.posterior_batch import (
+    TREE_FFT_MIN_DEGREE,
+    degree_posterior_matrix,
+    fold_in_staircase,
+    poisson_binomial_pmf_batch,
+    poisson_binomial_pmf_tree,
+)
+
+TOL = 1e-10
+
+
+def _ragged_csr(counts, rng):
+    counts = np.asarray(counts, dtype=np.int64)
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    data = rng.random(int(counts.sum()))
+    return indptr, data
+
+
+class TestTreeKernelOracle:
+    @pytest.mark.parametrize("ell", [1, 2, 3, 5, 8, 17, 33, 64, 100, 257, 1000])
+    def test_matches_staircase_random_rows(self, ell):
+        rng = np.random.default_rng(ell)
+        probs = rng.random((6, ell))
+        tree = poisson_binomial_pmf_tree(probs)
+        stair = poisson_binomial_pmf_batch(probs)
+        assert np.abs(tree - stair).max() < TOL
+
+    @pytest.mark.parametrize("ell", [1, 7, 100, 300])
+    def test_degenerate_probabilities(self, ell):
+        """Rows of all-0, all-1, and mixed {0, 1} probabilities."""
+        probs = np.zeros((4, ell))
+        probs[1] = 1.0
+        probs[2, : ell // 2] = 1.0
+        probs[3] = np.arange(ell) % 2
+        tree = poisson_binomial_pmf_tree(probs)
+        stair = poisson_binomial_pmf_batch(probs)
+        assert np.abs(tree - stair).max() < TOL
+        # all-ones row must put unit mass exactly at ell
+        assert tree[1, ell] == pytest.approx(1.0, abs=TOL)
+
+    def test_matches_scalar_oracle(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random((1, 200))
+        tree = poisson_binomial_pmf_tree(probs)[0]
+        assert np.abs(tree - poisson_binomial_pmf(probs[0])).max() < TOL
+
+    def test_empty_matrix_and_empty_rows(self):
+        assert poisson_binomial_pmf_tree(np.zeros((0, 5))).shape == (0, 6)
+        out = poisson_binomial_pmf_tree(np.zeros((3, 0)))
+        assert out.shape == (3, 1)
+        assert (out[:, 0] == 1.0).all()
+
+    @pytest.mark.parametrize("support", [0, 1, 10, 99, 500])
+    def test_support_truncation_drops_tail(self, support):
+        """Truncation keeps exact point probabilities, never lumps."""
+        rng = np.random.default_rng(1)
+        probs = rng.random((4, 100))
+        full = poisson_binomial_pmf_tree(probs)
+        cut = poisson_binomial_pmf_tree(probs, support=support)
+        assert cut.shape == (4, support + 1)
+        keep = min(support + 1, full.shape[1])
+        assert np.abs(cut[:, :keep] - full[:, :keep]).max() < TOL
+        assert (cut[:, keep:] == 0.0).all()
+
+    def test_width_one_rows(self):
+        rng = np.random.default_rng(2)
+        probs = rng.random((5, 1))
+        tree = poisson_binomial_pmf_tree(probs)
+        assert np.abs(tree[:, 0] - (1.0 - probs[:, 0])).max() < TOL
+        assert np.abs(tree[:, 1] - probs[:, 0]).max() < TOL
+
+    def test_fft_levels_exercised(self):
+        """Wide rows must cross the direct→FFT escalation threshold."""
+        ell = 8 * TREE_FFT_MIN_DEGREE
+        rng = np.random.default_rng(3)
+        probs = rng.random((2, ell))
+        tree = poisson_binomial_pmf_tree(probs)
+        stair = poisson_binomial_pmf_batch(probs)
+        assert np.abs(tree - stair).max() < TOL
+        # non-negativity is enforced on the FFT path
+        assert (tree >= 0.0).all()
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf_tree(np.array([[0.5, 1.5]]))
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf_tree(np.array([[-0.1]]))
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf_tree(np.array([0.5, 0.5]))
+
+
+class TestKernelDispatch:
+    def _mixed_csr(self, seed=0):
+        rng = np.random.default_rng(seed)
+        counts = np.concatenate(
+            [
+                rng.integers(0, 30, size=40),
+                rng.integers(TREE_CROSSOVER_WIDTH + 1, 400, size=12),
+                [0, 1, TREE_CROSSOVER_WIDTH, TREE_CROSSOVER_WIDTH + 1],
+            ]
+        )
+        rng.shuffle(counts)
+        return counts, *_ragged_csr(counts, rng)
+
+    def test_auto_bit_matches_dispatched_kernel(self):
+        """Each row of kernel="auto" equals the kernel it dispatched to,
+        bit for bit, regardless of the batch's other rows."""
+        counts, indptr, data = self._mixed_csr()
+        auto = degree_posterior_matrix(indptr, data, method="exact", kernel="auto")
+        stair = degree_posterior_matrix(
+            indptr, data, method="exact", kernel="staircase"
+        )
+        tree = degree_posterior_matrix(indptr, data, method="exact", kernel="tree")
+        wide = counts > TREE_CROSSOVER_WIDTH
+        assert np.array_equal(auto[~wide], stair[~wide])
+        assert np.array_equal(auto[wide], tree[wide])
+
+    def test_auto_bit_match_is_batch_independent(self):
+        """A wide row's values don't depend on which rows share the batch."""
+        rng = np.random.default_rng(7)
+        ell = 3 * TREE_CROSSOVER_WIDTH
+        row = rng.random(ell)
+        solo_indptr = np.array([0, ell], dtype=np.int64)
+        solo = degree_posterior_matrix(
+            solo_indptr, row, method="exact", kernel="auto"
+        )[0]
+        counts = np.array([5, ell, 300, 0], dtype=np.int64)
+        indptr = np.zeros(5, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        data = rng.random(int(counts.sum()))
+        data[5 : 5 + ell] = row
+        batched = degree_posterior_matrix(indptr, data, method="exact", kernel="auto")
+        assert np.array_equal(batched[1, : len(solo)], solo)
+
+    def test_tree_kernel_pinned_against_staircase(self):
+        counts, indptr, data = self._mixed_csr(seed=3)
+        stair = degree_posterior_matrix(
+            indptr, data, method="exact", kernel="staircase"
+        )
+        tree = degree_posterior_matrix(indptr, data, method="exact", kernel="tree")
+        assert np.abs(tree - stair).max() < TOL
+
+    def test_method_auto_unchanged_by_kernel_dispatch(self):
+        """method="auto" exact rows sit below the crossover, so the
+        kernel knob cannot perturb the engine's pinned auto path."""
+        counts, indptr, data = self._mixed_csr(seed=5)
+        base = degree_posterior_matrix(indptr, data, method="auto")
+        explicit = degree_posterior_matrix(
+            indptr, data, method="auto", kernel="staircase"
+        )
+        assert np.array_equal(base, explicit)
+
+    def test_unknown_kernel_rejected(self):
+        indptr = np.array([0, 1], dtype=np.int64)
+        data = np.array([0.5])
+        with pytest.raises(ValueError, match="unknown kernel"):
+            degree_posterior_matrix(indptr, data, kernel="fft")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            fold_in_staircase(np.ones((1, 2)), indptr, data, kernel="fft")
+
+
+class TestFoldKernelPath:
+    def _fold_case(self, seed=0):
+        rng = np.random.default_rng(seed)
+        rows, width = 24, 220
+        base = rng.random((rows, width))
+        base /= base.sum(axis=1, keepdims=True)
+        counts = np.concatenate(
+            [
+                rng.integers(0, 20, size=rows - 8),
+                rng.integers(TREE_CROSSOVER_WIDTH + 1, 300, size=8),
+            ]
+        )
+        rng.shuffle(counts)
+        indptr, data = _ragged_csr(counts, rng)
+        return base, indptr, data
+
+    def test_fold_tree_matches_staircase(self):
+        base, indptr, data = self._fold_case()
+        stair = fold_in_staircase(base, indptr, data, kernel="staircase")
+        tree = fold_in_staircase(base, indptr, data, kernel="tree")
+        auto = fold_in_staircase(base, indptr, data, kernel="auto")
+        assert np.abs(tree - stair).max() < TOL
+        assert np.abs(auto - stair).max() < TOL
+
+    def test_fold_auto_narrow_rows_bit_match_staircase(self):
+        """Rows below the crossover keep the staircase arithmetic."""
+        rng = np.random.default_rng(9)
+        base = rng.random((10, 40))
+        base /= base.sum(axis=1, keepdims=True)
+        counts = rng.integers(0, TREE_CROSSOVER_WIDTH, size=10)
+        indptr, data = _ragged_csr(counts, rng)
+        stair = fold_in_staircase(base, indptr, data, kernel="staircase")
+        auto = fold_in_staircase(base, indptr, data, kernel="auto")
+        assert np.array_equal(auto, stair)

@@ -7,6 +7,8 @@ from repro.graphs.datasets import (
     dblp_like,
     flickr_like,
     load_dataset,
+    paper_degree_exponent,
+    paper_scale_dataset,
     y360_like,
 )
 from repro.graphs.triangles import clustering_coefficient
@@ -68,3 +70,62 @@ class TestLoader:
         assert load_dataset("y360", scale=0.1, seed=3) == load_dataset(
             "y360", scale=0.1, seed=3
         )
+
+
+class TestPaperScaleDataset:
+    def test_size_and_density_calibration(self, tmp_path):
+        g = paper_scale_dataset("dblp", scale=0.02, seed=0, cache_dir=tmp_path)
+        spec = DATASET_SPECS["dblp"]
+        assert g.num_vertices == round(spec.paper_n * 0.02)
+        target = 2.0 * spec.paper_m / spec.paper_n
+        avg = 2.0 * g.num_edges / g.num_vertices
+        # erased configuration model loses ~1% to loops/multi-edges
+        assert abs(avg - target) / target < 0.05
+
+    def test_deterministic(self, tmp_path):
+        a = paper_scale_dataset("dblp", scale=0.01, seed=4, cache_dir=None)
+        b = paper_scale_dataset("dblp", scale=0.01, seed=4, cache_dir=None)
+        assert a == b
+
+    def test_cache_round_trip(self, tmp_path):
+        fresh = paper_scale_dataset("y360", scale=0.005, seed=1, cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.npz"))
+        cached = paper_scale_dataset("y360", scale=0.005, seed=1, cache_dir=tmp_path)
+        assert cached == fresh
+
+    def test_corrupt_cache_regenerated(self, tmp_path):
+        fresh = paper_scale_dataset("dblp", scale=0.005, seed=2, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.npz")
+        path.write_bytes(b"not an npz archive")
+        again = paper_scale_dataset("dblp", scale=0.005, seed=2, cache_dir=tmp_path)
+        assert again == fresh
+        # the rewritten entry must now be valid
+        assert paper_scale_dataset(
+            "dblp", scale=0.005, seed=2, cache_dir=tmp_path
+        ) == fresh
+
+    def test_cache_env_variable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+        paper_scale_dataset("dblp", scale=0.005, seed=3)
+        assert list(tmp_path.glob("*.npz"))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(KeyError):
+            paper_scale_dataset("orkut", scale=0.01)
+        with pytest.raises(ValueError):
+            paper_scale_dataset("dblp", scale=0.0)
+
+
+class TestPaperDegreeExponent:
+    def test_bisection_hits_target_mean(self):
+        from repro.graphs.datasets import _powerlaw_mean
+
+        for target in (4.27, 6.33, 19.73):
+            gamma = paper_degree_exponent(target, 475)
+            assert abs(_powerlaw_mean(gamma, 475) - target) < 1e-6
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            paper_degree_exponent(1e6, 100)
+        with pytest.raises(ValueError):
+            paper_degree_exponent(0.5, 100)

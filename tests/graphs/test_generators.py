@@ -7,6 +7,7 @@ from repro.graphs.generators import (
     affiliation_graph,
     barabasi_albert,
     configuration_model,
+    configuration_model_edges,
     configuration_model_powerlaw,
     erdos_renyi,
     powerlaw_cluster,
@@ -179,3 +180,49 @@ class TestAffiliationGraph:
         degs = g.degrees()
         active = degs[degs > 0]
         assert active.max() > 4 * np.median(active)
+
+
+class TestConfigurationModelEdges:
+    def _sequential_edge_set(self, degrees, seed):
+        """The former per-stub Python loop, kept as the pin oracle."""
+        from repro.utils.rng import as_rng
+
+        rng = as_rng(seed)
+        stubs = np.repeat(np.arange(len(degrees)), degrees)
+        rng.shuffle(stubs)
+        seen = set()
+        for i in range(0, len(stubs) - 1, 2):
+            u, v = int(stubs[i]), int(stubs[i + 1])
+            if u != v:
+                seen.add((min(u, v), max(u, v)))
+        return seen
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_matches_sequential_loop_edge_set(self, seed):
+        rng = np.random.default_rng(seed)
+        degrees = rng.integers(0, 8, size=120)
+        if degrees.sum() % 2:
+            degrees[0] += 1
+        edges = configuration_model_edges(degrees, seed=(seed, 1))
+        expected = self._sequential_edge_set(degrees, (seed, 1))
+        assert {(int(u), int(v)) for u, v in edges} == expected
+
+    def test_rows_canonical_and_sorted(self):
+        degrees = np.full(200, 4)
+        edges = configuration_model_edges(degrees, seed=5)
+        assert (edges[:, 0] < edges[:, 1]).all()
+        codes = edges[:, 0] * 200 + edges[:, 1]
+        assert (np.diff(codes) > 0).all()
+
+    def test_graph_wrapper_agrees(self):
+        degrees = np.array([3, 3, 2, 2, 1, 1])
+        g = configuration_model(degrees, seed=0)
+        edges = configuration_model_edges(degrees, seed=0)
+        assert g.num_edges == len(edges)
+        assert (g.degrees() <= degrees).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            configuration_model_edges(np.array([1, 1, 1]))
+        with pytest.raises(ValueError):
+            configuration_model_edges(np.array([2, -1, 1]))

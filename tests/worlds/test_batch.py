@@ -132,3 +132,43 @@ class TestEdgeCases:
             WorldBatch.from_keep_matrix(
                 small_uncertain.num_vertices, us, vs, np.ones((2, 3), dtype=bool)
             )
+
+
+class TestUnionIncidence:
+    """The cached sorted union structure behind csr()."""
+
+    def test_union_shared_across_slices(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 8, seed=0)
+        first = batch.slice(0, 3)
+        second = batch.slice(3, 8)
+        union = first.union_incidence()
+        # one sort per candidate-pair set: every view sees the same object
+        assert second.union_incidence() is union
+        assert batch.union_incidence() is union
+
+    def test_union_shared_when_built_before_slicing(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 6, seed=1)
+        union = batch.union_incidence()
+        assert batch.slice(1, 4).union_incidence() is union
+
+    def test_sliced_csr_matches_full_batch_csr(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 6, seed=2)
+        indptr, indices = batch.csr()
+        n = batch.num_vertices
+        sub = batch.slice(2, 5)
+        sub_indptr, sub_indices = sub.csr()
+        for w_sub, w in enumerate(range(2, 5)):
+            lo, hi = indptr[w * n], indptr[(w + 1) * n]
+            s_lo, s_hi = sub_indptr[w_sub * n], sub_indptr[(w_sub + 1) * n]
+            # same neighbour lists modulo the world-offset convention
+            np.testing.assert_array_equal(
+                indices[lo:hi] - w * n, sub_indices[s_lo:s_hi] - w_sub * n
+            )
+
+    def test_union_slot_order_is_head_then_tail(self, small_uncertain):
+        batch = WorldBatch.sample(small_uncertain, 2, seed=3)
+        union = batch.union_incidence()
+        keys = union.heads * np.int64(batch.num_vertices) + union.tails
+        assert (np.diff(keys) > 0).all()
+        # each candidate pair contributes exactly two directed incidences
+        assert len(union.pair) == 2 * batch.num_candidate_pairs

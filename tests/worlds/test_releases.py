@@ -20,7 +20,12 @@ from repro.baselines.randomization import (
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.graph import Graph, pair_index
 from repro.utils.rng import as_rng
-from repro.worlds.releases import RELEASE_SCHEMES, sample_releases
+from repro.worlds.releases import (
+    RELEASE_SCHEMES,
+    _merge_sorted_unique,
+    sample_releases,
+    stream_releases,
+)
 
 SEQUENTIAL = {
     "sparsification": random_sparsification,
@@ -169,3 +174,85 @@ class TestSlicing:
             batch.slice(2, 6)
         with pytest.raises(IndexError):
             batch.slice(-1, 2)
+
+
+class TestStreaming:
+    """stream_releases: same releases, bounded chunks, same statistics."""
+
+    @pytest.mark.parametrize("scheme", RELEASE_SCHEMES)
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 100])
+    def test_stream_matches_monolithic_releases(self, scheme, chunk_size):
+        graph = erdos_renyi(40, 0.15, seed=3)
+        worlds = 11
+        full = sample_releases(graph, scheme, 0.45, worlds, seed=(3, 5))
+        chunks = list(
+            stream_releases(
+                graph, scheme, 0.45, worlds, seed=(3, 5), chunk_size=chunk_size
+            )
+        )
+        assert sum(c.num_worlds for c in chunks) == worlds
+        assert all(c.num_worlds <= chunk_size for c in chunks)
+        w = 0
+        for chunk in chunks:
+            for i in range(chunk.num_worlds):
+                assert chunk.world_graph(i) == full.world_graph(w)
+                w += 1
+
+    def test_stream_union_is_chunk_local(self):
+        """No chunk's candidate columns cover another chunk's additions —
+        the memory bound the streaming mode exists for."""
+        graph = erdos_renyi(50, 0.1, seed=1)
+        full = sample_releases(graph, "perturbation", 0.9, 12, seed=9)
+        chunks = list(
+            stream_releases(graph, "perturbation", 0.9, 12, seed=9, chunk_size=3)
+        )
+        assert max(c.num_candidate_pairs for c in chunks) < full.num_candidate_pairs
+
+    def test_streaming_statistics_match_materialised(self):
+        """evaluate_stream over stream_releases == evaluate over the
+        monolithic batch, for every paper statistic."""
+        from repro.stats.registry import paper_statistics
+        from repro.worlds.estimator import BatchStatisticsEngine
+
+        graph = erdos_renyi(45, 0.12, seed=6)
+        stats = paper_statistics(distance_backend="anf", seed=0)
+        names = list(stats)
+        engine = BatchStatisticsEngine(stats)
+        full = sample_releases(graph, "perturbation", 0.6, 10, seed=(6, 1))
+        expected, _ = engine.evaluate(full, names)
+        streamed = engine.evaluate_stream(
+            stream_releases(
+                graph, "perturbation", 0.6, 10, seed=(6, 1), chunk_size=3
+            ),
+            names,
+        )
+        for name in names:
+            np.testing.assert_allclose(
+                streamed[name], expected[name], rtol=0, atol=1e-9
+            )
+
+    def test_stream_empty_and_validation(self):
+        graph = erdos_renyi(10, 0.3, seed=0)
+        assert list(stream_releases(graph, "sparsification", 0.5, 0, seed=0)) == []
+        with pytest.raises(ValueError):
+            list(stream_releases(graph, "sparsification", 0.5, 4, chunk_size=0))
+        with pytest.raises(ValueError):
+            list(stream_releases(graph, "smoothing", 0.5, 4, seed=0))
+
+
+class TestMergeSortedUnique:
+    def test_matches_numpy_union(self):
+        rng = np.random.default_rng(0)
+        union = np.empty(0, dtype=np.int64)
+        seen = []
+        for _ in range(20):
+            codes = np.unique(rng.integers(0, 200, size=rng.integers(0, 30)))
+            seen.append(codes)
+            union = _merge_sorted_unique(union, codes)
+            np.testing.assert_array_equal(union, np.unique(np.concatenate(seen)))
+
+    def test_empty_sides(self):
+        a = np.array([1, 5, 9], dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(_merge_sorted_unique(empty, a), a)
+        np.testing.assert_array_equal(_merge_sorted_unique(a, empty), a)
