@@ -32,34 +32,12 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_obfuscation_sweep
 
+# peak_rss_mb moved into the library (the span tracer and run manifests
+# need it too); re-exported here so every benchmark keeps importing it
+# from conftest unchanged.
+from repro.obs.memory import peak_rss_mb  # noqa: F401  (re-export)
+
 RESULTS_DIR = Path(__file__).parent / "results"
-
-try:
-    import resource as _resource
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    _resource = None
-
-
-def peak_rss_mb() -> float:
-    """Peak resident set size of this process, in MiB.
-
-    Uses ``resource.getrusage`` where available (``ru_maxrss`` is
-    kilobytes on Linux, bytes on macOS); falls back to the tracemalloc
-    traced peak when the ``resource`` module is missing, and to NaN when
-    neither source exists — the benchmarks still run, the column is just
-    unavailable.
-    """
-    if _resource is not None:
-        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
-        import sys
-
-        divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
-        return peak / divisor
-    import tracemalloc
-
-    if tracemalloc.is_tracing():  # pragma: no cover - fallback path
-        return tracemalloc.get_traced_memory()[1] / (1 << 20)
-    return float("nan")  # pragma: no cover - fallback path
 
 
 def _env_float(name: str, default: float) -> float:

@@ -14,16 +14,30 @@ Usage (after running the benchmark suite so the CSVs are fresh)::
 
     python benchmarks/perf_gate.py
 
+A second mode gates the observability layer itself::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py --trace-overhead
+
+runs a pinned seeded obfuscation search (the posterior-heavy workload
+that carries the densest span instrumentation) with tracing enabled and
+disabled, interleaved best-of-N, and fails if the enabled/disabled
+wall-clock ratio exceeds ``TRACE_OVERHEAD_BUDGET`` (5%).  The always-on
+metric counters are identical in both runs, so the ratio isolates the
+cost of live spans — the thing ``repro.obs`` promises is phase-level
+cheap.
+
 Exit status: 0 = all floors hold, 1 = regression (or a gated file/row
 is missing, which would otherwise silently disable the gate).
 """
 
 from __future__ import annotations
 
+import argparse
 import csv
 import io
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -31,6 +45,9 @@ REPO_ROOT = Path(__file__).parent.parent
 
 #: Fresh ratio may be at worst committed/1.15 (a 15% regression).
 TOLERANCE = 1.15
+
+#: Tracing-enabled wall clock may be at worst 1.05x the disabled run.
+TRACE_OVERHEAD_BUDGET = 1.05
 
 #: (csv name, row-match predicate fields, ratio column) per pinned workload.
 GATES: list[tuple[str, dict[str, str], str]] = [
@@ -61,6 +78,59 @@ def _committed(name: str) -> str | None:
         text=True,
     )
     return proc.stdout if proc.returncode == 0 else None
+
+
+def trace_overhead(rounds: int = 5) -> int:
+    """Gate the cost of live tracing on the pinned posterior workload.
+
+    Requires ``PYTHONPATH=src`` (imports the library).  The workload is
+    a fully seeded Algorithm-1 search on a dblp-like surrogate — every
+    probe opens a span and the posterior kernels feed the always-on
+    registry, so an enabled run exercises the instrumentation exactly
+    as ``repro obfuscate --trace`` would.  Enabled and disabled runs
+    are interleaved and the best (minimum) of ``rounds`` is compared,
+    which cancels warm-up and machine-load drift.
+    """
+    from repro.core.search import obfuscate
+    from repro.graphs.datasets import dblp_like
+    from repro.obs.trace import disable_tracing, enable_tracing, tracing_enabled
+
+    if tracing_enabled():  # a live tracer would contaminate the "off" half
+        disable_tracing()
+    graph = dblp_like(scale=0.15, seed=0)
+
+    def run() -> None:
+        obfuscate(graph, k=10, eps=0.1, seed=0, attempts=2, delta=0.05)
+
+    run()  # warm-up: dataset caches, first-touch allocations, JIT-free but honest
+    best_off = best_on = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run()
+        best_off = min(best_off, time.perf_counter() - t0)
+        enable_tracing(None)  # in-memory tracer: spans live, no file I/O
+        try:
+            t0 = time.perf_counter()
+            run()
+            best_on = min(best_on, time.perf_counter() - t0)
+        finally:
+            disable_tracing()
+    ratio = best_on / best_off
+    verdict = "ok" if ratio <= TRACE_OVERHEAD_BUDGET else "REGRESSION"
+    print(
+        f"{verdict:>10}  trace overhead: enabled {best_on * 1e3:.1f} ms "
+        f"vs disabled {best_off * 1e3:.1f} ms "
+        f"(ratio {ratio:.3f}, budget {TRACE_OVERHEAD_BUDGET:.2f})"
+    )
+    if ratio > TRACE_OVERHEAD_BUDGET:
+        print(
+            f"trace overhead gate FAILED: span instrumentation costs "
+            f"{(ratio - 1) * 100:.1f}% (> {(TRACE_OVERHEAD_BUDGET - 1) * 100:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\ntrace overhead gate passed (best of {rounds})")
+    return 0
 
 
 def main() -> int:
@@ -108,4 +178,14 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _parser = argparse.ArgumentParser(description="perf + trace-overhead gates")
+    _parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="gate live-tracing overhead instead of the CSV ratio floors",
+    )
+    _parser.add_argument(
+        "--rounds", type=int, default=5, help="best-of-N rounds (trace mode)"
+    )
+    _args = _parser.parse_args()
+    sys.exit(trace_overhead(_args.rounds) if _args.trace_overhead else main())

@@ -25,7 +25,6 @@ import argparse
 import time
 from pathlib import Path
 
-from conftest import peak_rss_mb
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import (
     run_obfuscation_sweep,
@@ -34,6 +33,14 @@ from repro.experiments.harness import (
 )
 from repro.experiments.report import render_table, save_csv
 from repro.graphs.datasets import paper_scale_dataset
+from repro.obs import (
+    build_manifest,
+    disable_tracing,
+    enable_tracing,
+    peak_rss_mb,
+    span,
+    write_manifest,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_CACHE = Path(__file__).parent / "cache"
@@ -74,11 +81,14 @@ def main() -> None:
         "paper_scale_smoke.csv" if args.smoke else "paper_scale.csv"
     )
 
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tracer = enable_tracing(out.parent / (out.stem + "_trace.jsonl"))
     t0 = time.perf_counter()
-    graph = paper_scale_dataset(
-        "dblp", scale=scale, seed=args.seed, cache_dir=args.cache_dir
-    )
-    t_graph = time.perf_counter() - t0
+    with span("graph", dataset="dblp", scale=scale) as sp_graph:
+        graph = paper_scale_dataset(
+            "dblp", scale=scale, seed=args.seed, cache_dir=args.cache_dir
+        )
+    t_graph = sp_graph.wall_s
     print(
         f"dblp @ scale {scale:g}: n={graph.num_vertices:,} m={graph.num_edges:,} "
         f"({t_graph:.1f}s, peak {peak_rss_mb():.0f} MiB)"
@@ -109,9 +119,9 @@ def main() -> None:
         "graph_sec": round(t_graph, 2),
     }
 
-    t1 = time.perf_counter()
-    sweep = run_obfuscation_sweep(config)
-    t_sweep = time.perf_counter() - t1
+    with span("table2", worlds=worlds) as sp_sweep:
+        sweep = run_obfuscation_sweep(config)
+    t_sweep = sp_sweep.wall_s
     meta["table2_sec"] = round(t_sweep, 2)
     meta["table2_peak_rss_mb"] = round(peak_rss_mb(), 1)
     t2_rows = table2_rows(sweep)
@@ -119,10 +129,10 @@ def main() -> None:
     print(f"[table2] {t_sweep:.1f}s, peak {peak_rss_mb():.0f} MiB")
     rows.extend({"table": "table2", "dataset": "dblp", **r} for r in t2_rows)
 
-    t2 = time.perf_counter()
-    utility_sweep = [e for e in sweep if e.paper_eps == min(eps_values)]
-    t4_rows = table4_rows(utility_sweep, config, cache={})
-    t_util = time.perf_counter() - t2
+    with span("table4", worlds=worlds) as sp_util:
+        utility_sweep = [e for e in sweep if e.paper_eps == min(eps_values)]
+        t4_rows = table4_rows(utility_sweep, config, cache={})
+    t_util = sp_util.wall_s
     meta["table4_sec"] = round(t_util, 2)
     meta["table4_peak_rss_mb"] = round(peak_rss_mb(), 1)
     print(render_table(t4_rows, title=f"Table 4 @ n={graph.num_vertices:,}"))
@@ -134,6 +144,23 @@ def main() -> None:
     rows.append(meta)
     RESULTS_DIR.mkdir(exist_ok=True)
     save_csv(rows, out)
+    disable_tracing()
+    manifest = build_manifest(
+        "benchmarks/run_paper_scale.py",
+        config={
+            "dataset": "dblp",
+            "scale": scale,
+            "worlds": worlds,
+            "k_values": list(k_values),
+            "eps_values": list(eps_values),
+            "smoke": bool(args.smoke),
+        },
+        seed=args.seed,
+        tracer=tracer,
+        elapsed_s=meta["total_sec"],
+        results=meta,
+    )
+    write_manifest(out.parent / (out.stem + "_manifest.json"), manifest)
     print(f"wrote {out} (total {meta['total_sec']}s, peak {meta['peak_rss_mb']} MiB)")
 
 

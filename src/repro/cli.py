@@ -7,23 +7,41 @@ Usage (also available as ``python -m repro``)::
     repro stats     --release release.txt --worlds 100
     repro sample    --release release.txt --output world.txt --seed 7
     repro compare   --input graph.txt --p 0.3 --samples 50
+    repro trace     run-dir/            # summarise a traced run
 
 ``graph.txt`` is a whitespace edge list (``u v`` per line, ``#``
 comments); ``release.txt`` is the published uncertain graph (``u v p``
 triples).  Every subcommand prints a short human-readable report to
 stdout and exits non-zero on failure, so the tool composes in shell
 pipelines.
+
+Observability flags (after the subcommand name): ``-v``/``-vv`` for
+progress logging on stderr, ``-q`` for errors only, and
+``--trace [DIR]`` to record a span trace (``DIR/trace.jsonl``) plus a
+schema-validated run manifest (``DIR/manifest.json``).  Tracing is
+purely observational — a traced run's outputs are bit-identical to an
+untraced one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.obfuscation_check import is_k_eps_obfuscation
 from repro.core.search import obfuscate_with_fallback
 from repro.graphs.io import read_edge_list, write_edge_list
+from repro.obs import (
+    build_manifest,
+    disable_tracing,
+    enable_tracing,
+    setup_logging,
+    span,
+    write_manifest,
+)
 from repro.stats.registry import paper_statistics
 from repro.stats.sampling import WorldStatisticsEstimator
 from repro.uncertain.io import read_uncertain_graph, write_uncertain_graph
@@ -40,7 +58,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("obfuscate", help="compute a (k, eps)-obfuscation")
+    # Shared observability flags.  Attached to the *subparsers* (not the
+    # root) so their defaults cannot clobber root-level values — the
+    # flags go after the subcommand name: ``repro obfuscate -v --trace``.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-vv for debug)",
+    )
+    common.add_argument(
+        "-q", "--quiet", action="store_true", help="errors only"
+    )
+    common.add_argument(
+        "--trace", dest="trace_dir", nargs="?", const="repro-trace",
+        default=None, metavar="DIR",
+        help="record DIR/trace.jsonl and DIR/manifest.json "
+        "(default DIR: ./repro-trace)",
+    )
+
+    p = sub.add_parser(
+        "obfuscate", parents=[common], help="compute a (k, eps)-obfuscation"
+    )
     p.add_argument("--input", required=True, help="edge-list file of G")
     p.add_argument("--output", required=True, help="uncertain-graph output file")
     p.add_argument("--k", type=float, required=True, help="obfuscation level")
@@ -72,13 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "the historical redraw-everything stream (pinned ground truth)",
     )
 
-    p = sub.add_parser("verify", help="check Definition 2 on a release")
+    p = sub.add_parser("verify", parents=[common], help="check Definition 2 on a release")
     p.add_argument("--original", required=True, help="edge-list file of G")
     p.add_argument("--release", required=True, help="uncertain-graph file")
     p.add_argument("--k", type=float, required=True)
     p.add_argument("--eps", type=float, required=True)
 
-    p = sub.add_parser("stats", help="statistics of a release by sampling")
+    p = sub.add_parser("stats", parents=[common], help="statistics of a release by sampling")
     p.add_argument("--release", required=True, help="uncertain-graph file")
     p.add_argument("--worlds", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
@@ -99,13 +137,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
-    p = sub.add_parser("sample", help="draw one possible world")
+    p = sub.add_parser("sample", parents=[common], help="draw one possible world")
     p.add_argument("--release", required=True, help="uncertain-graph file")
     p.add_argument("--output", required=True, help="edge-list output file")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
         "compare",
+        parents=[common],
         help="Table-6 style comparison against randomized baselines",
         description=(
             "Sample randomized releases (sparsification/perturbation) of "
@@ -151,11 +190,30 @@ def _build_parser() -> argparse.ArgumentParser:
             "one-release-at-a-time path"
         ),
     )
+
+    p = sub.add_parser(
+        "trace",
+        help="summarise a traced run (trace.jsonl / manifest.json)",
+        description=(
+            "Print the per-phase span table, the heaviest spans, and the "
+            "posterior kernel mix recorded by a --trace run.  PATH may be "
+            "a trace.jsonl, a manifest.json, or a directory holding "
+            "either."
+        ),
+    )
+    p.add_argument(
+        "path", help="trace.jsonl, manifest.json, or a run directory"
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="max rows in the top-spans table (default 10)",
+    )
     return parser
 
 
 def _cmd_obfuscate(args) -> int:
-    graph = read_edge_list(args.input)
+    with span("read_input", path=str(args.input)):
+        graph = read_edge_list(args.input)
     print(f"loaded {args.input}: n={graph.num_vertices} m={graph.num_edges}")
     c_values = (args.c, 3.0, 5.0) if args.escalate_c else (args.c,)
     result = obfuscate_with_fallback(
@@ -177,7 +235,8 @@ def _cmd_obfuscate(args) -> int:
             file=sys.stderr,
         )
         return 1
-    write_uncertain_graph(result.uncertain, args.output)
+    with span("write_output", path=str(args.output)):
+        write_uncertain_graph(result.uncertain, args.output)
     print(
         f"wrote {args.output}: sigma={result.sigma:.6g} "
         f"eps_achieved={result.eps_achieved:.6g} c={result.params.c:g} "
@@ -283,6 +342,22 @@ def _cmd_sample(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    # Imported lazily: the reporting layer is only needed here.
+    from repro.obs.report import resolve_run, summarise_run
+
+    try:
+        manifest, records = resolve_run(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    print(summarise_run(manifest, records, top=args.top))
+    return 0
+
+
+_MANIFEST_SKIP_KEYS = frozenset(("command", "verbose", "quiet", "trace_dir"))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -292,8 +367,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "sample": _cmd_sample,
         "compare": _cmd_compare,
+        "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    setup_logging(getattr(args, "verbose", 0), getattr(args, "quiet", False))
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None:
+        return handlers[args.command](args)
+
+    # Traced run: spans stream to DIR/trace.jsonl while the command
+    # executes, then the manifest (config, seed, span tree, metrics
+    # dump) lands next to it.  All instrumentation is observational, so
+    # the command's own outputs are bit-identical to an untraced run.
+    trace_dir = Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    tracer = enable_tracing(trace_dir / "trace.jsonl")
+    t0 = time.perf_counter()
+    try:
+        code = handlers[args.command](args)
+    finally:
+        disable_tracing()
+    manifest = build_manifest(
+        f"repro {args.command}",
+        config={
+            k: v for k, v in vars(args).items() if k not in _MANIFEST_SKIP_KEYS
+        },
+        seed=getattr(args, "seed", None),
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        tracer=tracer,
+        elapsed_s=time.perf_counter() - t0,
+        results={"exit_code": code},
+    )
+    write_manifest(trace_dir / "manifest.json", manifest)
+    print(f"trace written to {trace_dir}/", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -89,6 +89,7 @@ from repro.core.posterior_batch import (
     normal_approx_pmf_batch,
 )
 from repro.core.types import GenerationOutcome, ObfuscationParams
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.core.uniqueness import (
     degree_commonness_from_histogram,
     degree_histogram,
@@ -118,6 +119,32 @@ _MAX_DRAW_FACTOR = 200
 # reserve position bits per call, since the pair_keyed stream may scale
 # the batch; the np.unique fallback guards vertex counts large enough
 # for the shifted codes to overflow int64.)
+
+# Candidate-churn accounting (repro.obs).  The registry is the
+# authoritative feed for aggregate run totals — search.py derives
+# ObfuscationResult counters from registry deltas rather than
+# re-threading them through GenerationOutcome — while the outcome
+# fields stay populated for per-call consumers.
+_GEN_PAIRS_DRAWN = _OBS.counter("generate.pairs_drawn")
+_GEN_ATTEMPTS = _OBS.counter("generate.attempts_made")
+_GEN_ROWS_FOLDED = _OBS.counter("generate.rows_folded")
+_GEN_ROWS_RECOMPUTED = _OBS.counter("generate.rows_recomputed")
+_GEN_STALLS = _OBS.counter("generate.candidate_stalls")
+_GEN_CALLS = _OBS.counter("generate.calls")
+_GEN_WINNERS = _OBS.counter("generate.winners")
+_GEN_REDRAWS = _OBS.histogram("generate.redraws_per_attempt")
+
+
+def _record_outcome(best: GenerationOutcome) -> GenerationOutcome:
+    """Feed one Algorithm-2 call's outcome counters into the registry."""
+    _GEN_CALLS.add(1)
+    _GEN_PAIRS_DRAWN.add(best.pairs_drawn)
+    _GEN_ATTEMPTS.add(best.attempts_made)
+    _GEN_ROWS_FOLDED.add(best.rows_folded)
+    _GEN_ROWS_RECOMPUTED.add(best.rows_recomputed)
+    if best.uncertain is not None:
+        _GEN_WINNERS.add(1)
+    return best
 
 
 class WeightedVertexSampler:
@@ -785,8 +812,11 @@ def _generate_pair_keyed_array(
             )
         except CandidateStallError as stall:
             pairs_drawn += stall.pairs_drawn
+            _GEN_STALLS.add(1)
+            _GEN_REDRAWS.observe(stall.pairs_drawn)
             continue
         pairs_drawn += draws_used // 2
+        _GEN_REDRAWS.observe(draws_used // 2)
         built.append((attempt, codes, is_edge, removed_codes))
 
     best = GenerationOutcome(
@@ -795,7 +825,7 @@ def _generate_pair_keyed_array(
     best.pairs_drawn = pairs_drawn
     if not built:
         best.attempts_made = params.attempts
-        return best
+        return _record_outcome(best)
     t_eff = len(built)
 
     # Phase 2 — per-probe edge state: probabilities, canonical CSR
@@ -973,7 +1003,7 @@ def _generate_pair_keyed_array(
     qualifying = np.flatnonzero(eps_attempts <= params.eps)
     if not qualifying.size:
         best.attempts_made = params.attempts
-        return best
+        return _record_outcome(best)
     winner = int(qualifying[np.argmin(eps_attempts[qualifying])])
     attempt_index, codes, is_edge, _ = built[winner]
     probs = np.empty(len(codes), dtype=np.float64)
@@ -987,7 +1017,7 @@ def _generate_pair_keyed_array(
         n, codes // n, codes % n, probs
     )
     best.attempts_made = attempt_index + 1
-    return best
+    return _record_outcome(best)
 
 
 def generate_obfuscation(
@@ -1104,8 +1134,11 @@ def generate_obfuscation(
             # target was hit) — count as a failed attempt, like the paper's
             # other per-attempt failure modes.
             pairs_drawn += stall.pairs_drawn
+            _GEN_STALLS.add(1)
+            _GEN_REDRAWS.observe(stall.pairs_drawn)
             continue
         pairs_drawn += draws_used // 2
+        _GEN_REDRAWS.observe(draws_used // 2)
         if not use_array:
             pairs = np.array(sorted(candidate), dtype=np.int64)
             us, vs = pairs[:, 0], pairs[:, 1]
@@ -1178,4 +1211,4 @@ def generate_obfuscation(
         )
     else:
         best.rows_recomputed = n * posteriors_computed
-    return best
+    return _record_outcome(best)

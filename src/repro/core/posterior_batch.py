@@ -40,6 +40,7 @@ from repro.core.degree_distribution import (
     erf_array,
 )
 from repro.graphs.traversal import multi_range
+from repro.obs.metrics import REGISTRY as _OBS
 
 __all__ = [
     "poisson_binomial_pmf_batch",
@@ -65,6 +66,24 @@ FOLD_OUT_MAX_P = 0.5
 #: must not pay O(rows·max-ℓ) memory for a per-step gather it can do
 #: in place.
 _DENSE_ADDEND_BUDGET = 1 << 24
+
+# Kernel-mix accounting (repro.obs): one attribute add per *call*, fed
+# from row counts the dispatch already computed — observational only,
+# never touching values or RNG streams.  The dispatch counters record
+# only kernel="auto" decisions (the TREE_CROSSOVER_WIDTH split); the
+# rows counters record where each row was actually evaluated.
+_ROWS_STAIRCASE = _OBS.counter("posterior.rows.staircase")
+_ROWS_TREE = _OBS.counter("posterior.rows.tree")
+_ROWS_CLT = _OBS.counter("posterior.rows.clt")
+_DISPATCH_TREE = _OBS.counter("posterior.dispatch.auto_tree")
+_DISPATCH_STAIRCASE = _OBS.counter("posterior.dispatch.auto_staircase")
+_FOLD_ROWS = _OBS.counter("posterior.fold.rows")
+_FOLD_ROWS_TREE = _OBS.counter("posterior.fold.rows_tree")
+_FOLD_ROWS_STAIRCASE = _OBS.counter("posterior.fold.rows_staircase")
+_INC_FULL = _OBS.counter("posterior.incremental.full")
+_INC_SKIPPED = _OBS.counter("posterior.incremental.skipped")
+_INC_RECOMPUTED = _OBS.counter("posterior.incremental.recomputed")
+_INC_FOLDED = _OBS.counter("posterior.incremental.folded")
 
 
 def poisson_binomial_pmf_batch(
@@ -425,6 +444,11 @@ def degree_posterior_matrix(
         else:
             tree_sel = exact_counts > TREE_CROSSOVER_WIDTH
         tree_vertices = exact_vertices[tree_sel]
+        if kernel == "auto":
+            _DISPATCH_TREE.add(tree_vertices.size)
+            _DISPATCH_STAIRCASE.add(len(exact_vertices) - tree_vertices.size)
+        _ROWS_TREE.add(tree_vertices.size)
+        _ROWS_STAIRCASE.add(len(exact_vertices) - tree_vertices.size)
         if tree_vertices.size:
             _tree_fill(
                 X, tree_vertices, exact_counts[tree_sel], indptr, data, width
@@ -494,6 +518,7 @@ def degree_posterior_matrix(
 
     clt_vertices = np.flatnonzero(~exact_mask)
     if clt_vertices.size:
+        _ROWS_CLT.add(clt_vertices.size)
         mus, pqs = _segment_moments(
             data, indptr[clt_vertices], indptr[clt_vertices + 1]
         )
@@ -730,6 +755,12 @@ def fold_in_staircase(
         nwide = int(
             np.searchsorted(-sorted_counts, -TREE_CROSSOVER_WIDTH, side="left")
         )
+    _FOLD_ROWS.add(len(order))
+    _FOLD_ROWS_TREE.add(nwide)
+    _FOLD_ROWS_STAIRCASE.add(len(order) - nwide)
+    if kernel == "auto":
+        _DISPATCH_TREE.add(nwide)
+        _DISPATCH_STAIRCASE.add(len(order) - nwide)
     if nwide:
         # Wide rows: product polynomial via the tree kernel, grouped by
         # padded leaf width (same per-row determinism as _tree_fill).
@@ -1002,6 +1033,7 @@ class IncrementalDegreePosterior:
                 indptr, data, method=self._method, width=self._width
             )
             self.stats["full"] += 1
+            _INC_FULL.add(1)
         elif np.array_equal(codes, self._codes):
             # Identical pair structure: the diff is a plain elementwise
             # probability comparison, no merge needed.
@@ -1013,11 +1045,13 @@ class IncrementalDegreePosterior:
                 )
             else:
                 self.stats["skipped"] += n
+                _INC_SKIPPED.add(n)
         elif self._mostly_changed(codes, ps):
             self._X = degree_posterior_matrix(
                 indptr, data, method=self._method, width=self._width, out=self._X
             )
             self.stats["full"] += 1
+            _INC_FULL.add(1)
         else:
             rem_codes, rem_ps, add_codes, add_ps = self._diff_pairs(codes, ps)
             self._update_changed(
@@ -1077,6 +1111,7 @@ class IncrementalDegreePosterior:
             changed[side] = True
         n_changed = int(changed.sum())
         self.stats["skipped"] += n - n_changed
+        _INC_SKIPPED.add(n - n_changed)
         if n_changed == 0:
             return
 
@@ -1088,6 +1123,7 @@ class IncrementalDegreePosterior:
             if fold_mask.any():
                 self._fold_rows(fold_mask, rem_codes, rem_ps, add_codes, add_ps)
                 self.stats["folded"] += int(fold_mask.sum())
+                _INC_FOLDED.add(int(fold_mask.sum()))
 
         recompute = np.flatnonzero(changed & ~fold_mask)
         if recompute.size:
@@ -1099,6 +1135,7 @@ class IncrementalDegreePosterior:
                 sub_indptr, sub_data, method=self._method, width=self._width
             )
             self.stats["recomputed"] += len(recompute)
+            _INC_RECOMPUTED.add(len(recompute))
 
     def _fold_eligible(self, changed, counts, rem_codes, rem_ps, add_codes):
         """Changed vertices whose diff is small, stable, and exact-bucket."""

@@ -6,6 +6,12 @@ hit), then bisects ``[0, σ_u]`` down to width ``delta``, keeping the
 *last successful* — i.e. smallest-σ — obfuscation found.  Smaller σ means
 less injected uncertainty, hence higher utility; the search realises the
 paper's "inject the minimal amount of uncertainty" objective.
+
+The result's run counters (``edges_processed``, ``rows_folded``,
+``rows_recomputed``) are derived from :mod:`repro.obs` registry deltas
+around the search rather than threaded through every probe — the
+registry is fed once per Algorithm-2 call by ``generate.py``, so the
+totals are exact and shared with manifests/``repro trace``.
 """
 
 from __future__ import annotations
@@ -20,7 +26,15 @@ from repro.core.types import (
     SearchStep,
 )
 from repro.graphs.graph import Graph
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.obs.trace import span
 from repro.utils.rng import as_rng
+
+_SEARCH_PROBES = _OBS.counter("search.probes")
+_SEARCH_RUNS = _OBS.counter("search.runs")
+_GEN_PAIRS_DRAWN = _OBS.counter("generate.pairs_drawn")
+_GEN_ROWS_FOLDED = _OBS.counter("generate.rows_folded")
+_GEN_ROWS_RECOMPUTED = _OBS.counter("generate.rows_recomputed")
 
 
 def obfuscate(
@@ -79,69 +93,77 @@ def obfuscate(
         context = SearchContext.for_params(graph, params)
     t0 = time.perf_counter()
     trace: list[SearchStep] = []
-    edges_processed = 0
-    rows_folded = 0
-    rows_recomputed = 0
+    # Run counters come from registry deltas; generate.py adds each
+    # Algorithm-2 call's totals to these counters before returning.
+    pairs0 = _GEN_PAIRS_DRAWN.value
+    folded0 = _GEN_ROWS_FOLDED.value
+    recomputed0 = _GEN_ROWS_RECOMPUTED.value
+    _SEARCH_RUNS.add(1)
 
     def probe(sigma: float, phase: str) -> GenerationOutcome:
         """One Algorithm-2 evaluation, recorded in the search trace."""
-        nonlocal edges_processed, rows_folded, rows_recomputed
-        outcome = generate_obfuscation(
-            graph, sigma, params, seed=rng, context=context
-        )
-        edges_processed += outcome.pairs_drawn
-        rows_folded += outcome.rows_folded
-        rows_recomputed += outcome.rows_recomputed
+        _SEARCH_PROBES.add(1)
+        with span("probe", sigma=sigma, phase=phase) as sp:
+            outcome = generate_obfuscation(
+                graph, sigma, params, seed=rng, context=context
+            )
+            sp.set(
+                eps_achieved=outcome.eps_achieved,
+                attempts=outcome.attempts_made,
+                pairs_drawn=outcome.pairs_drawn,
+            )
         trace.append(
             SearchStep(sigma=sigma, eps_achieved=outcome.eps_achieved, phase=phase)
         )
         return outcome
 
-    # Phase 1 (Lines 1-6): double σ_u until a (k, ε)-obfuscation appears.
-    sigma_upper = params.sigma_init
-    found: GenerationOutcome | None = None
-    while True:
-        outcome = probe(sigma_upper, "doubling")
-        if outcome.success:
-            found = outcome
-            break
-        sigma_upper *= 2.0
-        if sigma_upper > params.sigma_max:
-            return ObfuscationResult(
-                uncertain=None,
-                sigma=float("nan"),
-                eps_achieved=float("inf"),
-                params=params,
-                trace=trace,
-                edges_processed=edges_processed,
-                rows_folded=rows_folded,
-                rows_recomputed=rows_recomputed,
-                elapsed_seconds=time.perf_counter() - t0,
-            )
+    def result(found: GenerationOutcome | None) -> ObfuscationResult:
+        return ObfuscationResult(
+            uncertain=found.uncertain if found is not None else None,
+            sigma=found.sigma if found is not None else float("nan"),
+            eps_achieved=(
+                found.eps_achieved if found is not None else float("inf")
+            ),
+            params=params,
+            trace=trace,
+            edges_processed=_GEN_PAIRS_DRAWN.value - pairs0,
+            rows_folded=_GEN_ROWS_FOLDED.value - folded0,
+            rows_recomputed=_GEN_ROWS_RECOMPUTED.value - recomputed0,
+            elapsed_seconds=time.perf_counter() - t0,
+        )
 
-    # Phase 2 (Lines 7-12): bisect [0, σ_u], keeping the smallest success.
-    sigma_lower = 0.0
-    while sigma_lower + params.delta < sigma_upper:
-        sigma_mid = 0.5 * (sigma_lower + sigma_upper)
-        outcome = probe(sigma_mid, "bisection")
-        if outcome.success:
-            found = outcome
-            sigma_upper = sigma_mid
-        else:
-            sigma_lower = sigma_mid
+    with span(
+        "obfuscate", k=params.k, eps=params.eps, c=params.c, engine=params.engine
+    ):
+        # Phase 1 (Lines 1-6): double σ_u until a (k, ε)-obfuscation
+        # appears.
+        sigma_upper = params.sigma_init
+        found: GenerationOutcome | None = None
+        with span("doubling"):
+            while True:
+                outcome = probe(sigma_upper, "doubling")
+                if outcome.success:
+                    found = outcome
+                    break
+                sigma_upper *= 2.0
+                if sigma_upper > params.sigma_max:
+                    return result(None)
 
-    assert found is not None  # guaranteed by phase 1
-    return ObfuscationResult(
-        uncertain=found.uncertain,
-        sigma=found.sigma,
-        eps_achieved=found.eps_achieved,
-        params=params,
-        trace=trace,
-        edges_processed=edges_processed,
-        rows_folded=rows_folded,
-        rows_recomputed=rows_recomputed,
-        elapsed_seconds=time.perf_counter() - t0,
-    )
+        # Phase 2 (Lines 7-12): bisect [0, σ_u], keeping the smallest
+        # success.
+        sigma_lower = 0.0
+        with span("bisection"):
+            while sigma_lower + params.delta < sigma_upper:
+                sigma_mid = 0.5 * (sigma_lower + sigma_upper)
+                outcome = probe(sigma_mid, "bisection")
+                if outcome.success:
+                    found = outcome
+                    sigma_upper = sigma_mid
+                else:
+                    sigma_lower = sigma_mid
+
+        assert found is not None  # guaranteed by phase 1
+        return result(found)
 
 
 def obfuscate_with_fallback(

@@ -33,6 +33,7 @@ name — a stable constant, unlike ``hash()``, which varies with
 
 from __future__ import annotations
 
+import logging
 import zlib
 
 import numpy as np
@@ -49,11 +50,14 @@ from repro.experiments.harness import (
     evaluate_utility,
 )
 from repro.graphs.graph import Graph
+from repro.obs.trace import span
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.utils.rng import as_rng
 from repro.worlds.estimator import BatchStatisticsEngine
 from repro.worlds.releases import sample_releases, stream_releases
 from repro.worlds.stats_batch import degree_matrix
+
+_log = logging.getLogger("repro.experiments.comparison")
 
 #: Default calibration grid, containing the paper's hand-picked values.
 DEFAULT_P_GRID: tuple[float, ...] = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 0.9)
@@ -152,14 +156,22 @@ def calibrate_randomization(
     """
     _check_backend(backend)
     rng = as_rng(seed)
-    for p in p_grid:
-        if (
-            achieved_k(
-                graph, scheme, p, eps, releases=releases, seed=rng, backend=backend
-            )
-            >= k
-        ):
-            return p
+    with span("calibrate_randomization", scheme=scheme, k=k) as sp:
+        for p in p_grid:
+            if (
+                achieved_k(
+                    graph, scheme, p, eps, releases=releases, seed=rng,
+                    backend=backend,
+                )
+                >= k
+            ):
+                sp.set(p=p)
+                _log.info("calibrated %s to p=%g for k>=%g", scheme, p, k)
+                return p
+    _log.warning(
+        "calibration failed: %s cannot reach k>=%g on the grid %s",
+        scheme, k, p_grid,
+    )
     return float("nan")
 
 
@@ -195,20 +207,25 @@ def baseline_utility_row(
     if original is None:
         original = {name: float(func(graph)) for name, func in stats.items()}
     rng = scheme_stream(config.seed, scheme)
-    if backend == "batched":
-        values = BatchStatisticsEngine(stats).evaluate_stream(
-            stream_releases(
-                graph, scheme, p, config.baseline_samples, seed=rng
-            ),
-            list(PAPER_STATISTIC_NAMES),
-        )
-    else:
-        sums = {name: [] for name in PAPER_STATISTIC_NAMES}
-        for _ in range(config.baseline_samples):
-            released = _sample_release(graph, scheme, p, rng)
-            for name, func in stats.items():
-                sums[name].append(float(func(released)))
-        values = {name: np.asarray(sums[name]) for name in PAPER_STATISTIC_NAMES}
+    with span(
+        "baseline_utility", scheme=scheme, p=p, samples=config.baseline_samples
+    ):
+        if backend == "batched":
+            values = BatchStatisticsEngine(stats).evaluate_stream(
+                stream_releases(
+                    graph, scheme, p, config.baseline_samples, seed=rng
+                ),
+                list(PAPER_STATISTIC_NAMES),
+            )
+        else:
+            sums = {name: [] for name in PAPER_STATISTIC_NAMES}
+            for _ in range(config.baseline_samples):
+                released = _sample_release(graph, scheme, p, rng)
+                for name, func in stats.items():
+                    sums[name].append(float(func(released)))
+            values = {
+                name: np.asarray(sums[name]) for name in PAPER_STATISTIC_NAMES
+            }
     row: dict = {"variant": label or f"{scheme} p={p}"}
     rel = []
     for name in PAPER_STATISTIC_NAMES:

@@ -15,10 +15,14 @@ surrogate's size (see EXPERIMENTS.md for the numerical mapping).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.graphs.datasets import DATASET_SPECS, load_dataset
 from repro.graphs.graph import Graph
+from repro.obs.trace import span
+
+_log = logging.getLogger("repro.experiments.config")
 
 #: The paper's obfuscation levels (§7.1).
 PAPER_K_VALUES: tuple[int, ...] = (20, 60, 100)
@@ -109,9 +113,15 @@ class ExperimentConfig:
         """Load (and memoise) one surrogate graph."""
         key = (dataset, self.scale, self.dataset_seed)
         if key not in self._graph_cache:
-            self._graph_cache[key] = load_dataset(
-                dataset, scale=self.scale, seed=self.dataset_seed
+            with span("load_dataset", dataset=dataset, scale=self.scale):
+                graph = load_dataset(
+                    dataset, scale=self.scale, seed=self.dataset_seed
+                )
+            _log.info(
+                "loaded %s surrogate: n=%d m=%d (scale=%g)",
+                dataset, graph.num_vertices, graph.num_edges, self.scale,
             )
+            self._graph_cache[key] = graph
         return self._graph_cache[key]
 
     def eps_for(self, dataset: str, paper_eps: float) -> float:

@@ -8,6 +8,7 @@ throughput "of the same experiments").
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,9 +17,12 @@ from repro.core.search import obfuscate_with_fallback
 from repro.core.types import ObfuscationResult
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.graph import Graph
+from repro.obs.trace import span
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.stats.sampling import SampleSummary, WorldStatisticsEstimator
 from repro.utils.rng import spawn_rngs
+
+_log = logging.getLogger("repro.experiments.harness")
 
 
 @dataclass
@@ -67,16 +71,27 @@ def run_obfuscation_sweep(
     for (dataset, k, paper_eps), rng in zip(cells, rngs):
         graph = config.graph(dataset)
         eps_used = config.eps_for(dataset, paper_eps)
-        result = obfuscate_with_fallback(
-            graph,
-            k,
-            eps_used,
-            c_values=config.c_chain,
-            seed=rng,
-            q=config.q,
-            attempts=config.attempts,
-            delta=config.delta,
+        _log.info(
+            "sweep cell %s k=%d eps=%g (scaled %g)",
+            dataset, k, paper_eps, eps_used,
         )
+        with span("sweep_cell", dataset=dataset, k=k, eps=paper_eps) as sp:
+            result = obfuscate_with_fallback(
+                graph,
+                k,
+                eps_used,
+                c_values=config.c_chain,
+                seed=rng,
+                q=config.q,
+                attempts=config.attempts,
+                delta=config.delta,
+            )
+            sp.set(success=result.success, sigma=result.sigma, c=result.params.c)
+        if not result.success:
+            _log.warning(
+                "sweep cell %s k=%d eps=%g failed at every c in %s",
+                dataset, k, paper_eps, config.c_chain,
+            )
         entries.append(
             SweepEntry(
                 dataset=dataset,
@@ -160,7 +175,19 @@ def evaluate_utility(
         backend=config.world_backend,
         **backend_options,
     )
-    summaries = estimator.run(worlds=config.worlds, seed=(config.seed, entry.k))
+    _log.info(
+        "utility %s k=%d: sampling %d worlds (%s backend)",
+        entry.dataset, entry.k, config.worlds, config.world_backend,
+    )
+    with span(
+        "evaluate_utility",
+        dataset=entry.dataset,
+        k=entry.k,
+        worlds=config.worlds,
+    ):
+        summaries = estimator.run(
+            worlds=config.worlds, seed=(config.seed, entry.k)
+        )
     if cache is not None:
         cache[key] = summaries
     return summaries

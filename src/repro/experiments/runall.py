@@ -10,6 +10,11 @@ paper reports, as text to stdout and CSV files under ``--out``.  The
 pytest benchmarks wrap the same harness with assertions; this driver is
 for interactive exploration and for regenerating artefacts on machines
 without the test toolchain.
+
+Every run writes a ``manifest.json`` receipt (config, seed, git SHA,
+versions, per-phase span tree, metrics dump) next to the CSVs; pass
+``--trace`` to also record the full span stream as ``trace.jsonl``.
+Both are readable with ``repro trace <out-dir>``.
 """
 
 from __future__ import annotations
@@ -33,6 +38,14 @@ from repro.experiments.report import (
     render_curves,
     render_table,
     save_csv,
+)
+from repro.obs import (
+    build_manifest,
+    disable_tracing,
+    enable_tracing,
+    setup_logging,
+    span,
+    write_manifest,
 )
 
 
@@ -58,6 +71,12 @@ def _parse_args(argv=None) -> argparse.Namespace:
                         dest="k_values", help="obfuscation levels")
     parser.add_argument("--eps", nargs="+", type=float, default=[1e-3, 1e-4],
                         dest="eps_values", help="paper tolerance values")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-vv for debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a span trace to <out>/trace.jsonl")
     return parser.parse_args(argv)
 
 
@@ -75,70 +94,99 @@ def run_all(args) -> None:
         seed=args.seed,
     )
     args.out.mkdir(parents=True, exist_ok=True)
+    tracer = enable_tracing(args.out / "trace.jsonl" if args.trace else None)
     t0 = time.perf_counter()
 
     print(f"# sweep: datasets={config.datasets} k={config.k_values} "
           f"eps={config.eps_values} scale={config.scale}")
-    sweep = run_obfuscation_sweep(config)
+    with span("sweep"):
+        sweep = run_obfuscation_sweep(config)
     print(f"# sweep finished in {time.perf_counter() - t0:.1f}s\n")
 
-    for title, rows, name in (
-        ("Table 2: minimal sigma", table2_rows(sweep), "table2"),
-        ("Table 3: throughput (edges/sec)", table3_rows(sweep), "table3"),
-    ):
-        print(render_table(rows, title=title))
-        print()
-        save_csv(rows, args.out / f"{name}.csv")
+    with span("tables_2_3"):
+        for title, rows, name in (
+            ("Table 2: minimal sigma", table2_rows(sweep), "table2"),
+            ("Table 3: throughput (edges/sec)", table3_rows(sweep), "table3"),
+        ):
+            print(render_table(rows, title=title))
+            print()
+            save_csv(rows, args.out / f"{name}.csv")
 
     strict = [e for e in sweep if e.paper_eps == min(config.eps_values)]
     cache: dict = {}
-    rows4 = table4_rows(strict, config, cache=cache)
-    print(render_table(rows4, title="Table 4: sample means (strict eps)"))
-    print()
-    save_csv(rows4, args.out / "table4.csv")
+    with span("tables_4_5"):
+        rows4 = table4_rows(strict, config, cache=cache)
+        print(render_table(rows4, title="Table 4: sample means (strict eps)"))
+        print()
+        save_csv(rows4, args.out / "table4.csv")
 
-    rows5 = table5_rows(strict, config, cache=cache)
-    print(render_table(rows5, title="Table 5: relative sample SEM"))
-    print()
-    save_csv(rows5, args.out / "table5.csv")
+        rows5 = table5_rows(strict, config, cache=cache)
+        print(render_table(rows5, title="Table 5: relative sample SEM"))
+        print()
+        save_csv(rows5, args.out / "table5.csv")
 
-    rows6 = table6_rows(sweep, config)
-    print(render_table(rows6, title="Table 6: comparison vs randomization"))
-    print()
-    save_csv(rows6, args.out / "table6.csv")
+    with span("table_6"):
+        rows6 = table6_rows(sweep, config)
+        print(render_table(rows6, title="Table 6: comparison vs randomization"))
+        print()
+        save_csv(rows6, args.out / "table6.csv")
 
     if not args.skip_figures:
-        cells = {(e.dataset, e.k, e.paper_eps): e for e in sweep}
-        easy = cells.get(("dblp", config.k_values[0], max(config.eps_values)))
-        if easy is not None and easy.result.success:
-            fig2 = figure2_data(easy, config)
-            print(render_boxplot_series(fig2, label="distance"))
-            print()
-            fig3 = figure3_data(easy, config)
-            print(render_boxplot_series(fig3, label="degree"))
-            print()
-        for dataset in config.datasets:
-            curves = figure4_data(
-                sweep, config, dataset,
-                baselines=[("perturbation", 0.32), ("sparsification", 0.64)],
-            )
-            print(render_curves(curves))
-            print()
-            rows = [
-                {"k": float(k), **{
-                    label: float(values[i])
-                    for label, values in curves.items() if label != "k"
-                }}
-                for i, k in enumerate(curves["k"])
-            ]
-            save_csv(rows, args.out / f"fig4_{dataset}.csv")
+        with span("figures"):
+            cells = {(e.dataset, e.k, e.paper_eps): e for e in sweep}
+            easy = cells.get(("dblp", config.k_values[0], max(config.eps_values)))
+            if easy is not None and easy.result.success:
+                fig2 = figure2_data(easy, config)
+                print(render_boxplot_series(fig2, label="distance"))
+                print()
+                fig3 = figure3_data(easy, config)
+                print(render_boxplot_series(fig3, label="degree"))
+                print()
+            for dataset in config.datasets:
+                curves = figure4_data(
+                    sweep, config, dataset,
+                    baselines=[("perturbation", 0.32), ("sparsification", 0.64)],
+                )
+                print(render_curves(curves))
+                print()
+                rows = [
+                    {"k": float(k), **{
+                        label: float(values[i])
+                        for label, values in curves.items() if label != "k"
+                    }}
+                    for i, k in enumerate(curves["k"])
+                ]
+                save_csv(rows, args.out / f"fig4_{dataset}.csv")
 
-    print(f"# total {time.perf_counter() - t0:.1f}s; CSVs in {args.out}/")
+    elapsed = time.perf_counter() - t0
+    disable_tracing()
+    manifest = build_manifest(
+        "python -m repro.experiments",
+        config={
+            "datasets": list(config.datasets),
+            "k_values": list(config.k_values),
+            "eps_values": list(config.eps_values),
+            "scale": config.scale,
+            "worlds": config.worlds,
+            "baseline_samples": config.baseline_samples,
+            "attempts": config.attempts,
+            "delta": config.delta,
+        },
+        seed=args.seed,
+        tracer=tracer,
+        elapsed_s=elapsed,
+        results={"cells": len(sweep),
+                 "failures": sum(not e.result.success for e in sweep)},
+    )
+    write_manifest(args.out / "manifest.json", manifest)
+    print(f"# total {elapsed:.1f}s; CSVs in {args.out}/")
 
 
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.experiments``."""
-    run_all(_parse_args(argv))
+    args = _parse_args(argv)
+    setup_logging(args.verbose, args.quiet)
+    run_all(args)
     return 0
 
 

@@ -1,0 +1,59 @@
+"""Structured logging setup for the CLI and experiment drivers.
+
+All repro modules log under the ``"repro"`` namespace
+(``logging.getLogger("repro.<module>")``); nothing in ``src/``
+configures handlers at import time — a library must stay silent until
+an entry point opts in.  :func:`setup_logging` is that opt-in: the CLI
+calls it from ``main()`` with the verbosity resolved from
+``--verbose``/``--quiet``.
+
+Verbosity mapping::
+
+    --quiet      ERROR   (failures only)
+    (default)    WARNING (quiet unless something is off)
+    -v           INFO    (phase progress: cells, chunks, writes)
+    -vv          DEBUG   (per-chunk/per-probe detail)
+
+Log lines go to stderr so stdout keeps its machine-readable contract
+(tables, reports) intact for shell pipelines.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["setup_logging", "verbosity_level"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI flags to a ``logging`` level."""
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def setup_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent across calls.
+
+    Installs one stderr handler on the ``"repro"`` root logger (replacing
+    any handler a previous call installed, so repeated ``main()``
+    invocations in one process — the test suite — never stack handlers)
+    and sets the level from the flags.  Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbose, quiet))
+    logger.propagate = False
+    return logger

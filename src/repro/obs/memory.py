@@ -1,0 +1,42 @@
+"""Process memory introspection shared by spans, benchmarks and manifests.
+
+Home of :func:`peak_rss_mb`, which previously lived in
+``benchmarks/conftest.py`` (which now re-exports it) — the span tracer
+needs it too, and the src tree cannot import from the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+__all__ = ["peak_rss_mb"]
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Uses ``resource.getrusage`` where available (``ru_maxrss`` is
+    kilobytes on Linux, bytes on macOS); falls back to the tracemalloc
+    traced peak when the ``resource`` module is missing, and to NaN when
+    neither source exists — callers still run, the column is just
+    unavailable.
+
+    The value is a monotone high-water mark, so the *difference* between
+    two calls bounds the additional peak memory the enclosed work
+    demanded — which is exactly how the span tracer uses it.
+    """
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
+        return peak / divisor
+    import tracemalloc
+
+    if tracemalloc.is_tracing():  # pragma: no cover - fallback path
+        return tracemalloc.get_traced_memory()[1] / (1 << 20)
+    return float("nan")  # pragma: no cover - fallback path

@@ -1,0 +1,206 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the single accounting surface for the quantities the
+engines used to lose or hand-plumb through return values: posterior
+rows by kernel path (staircase vs tree/FFT vs fold vs CLT),
+``TREE_CROSSOVER_WIDTH`` dispatch decisions, candidate-pair redraw
+churn, worlds/releases chunk sizes and union-incidence reuse, HyperANF
+iterations-to-fixpoint, and the ``rows_folded``/``rows_recomputed``
+fold-coverage totals.
+
+Design constraints, in priority order:
+
+* **Never perturbs results** — instruments record quantities the hot
+  paths have already computed (array sizes, dispatch counts); they
+  touch no RNG stream and reorder no floating-point operation, so a
+  traced run is bit-identical to an untraced one.
+* **Always on, and cheap enough for that to be fine** — every
+  instrument is a plain attribute add on a memoised handle, incremented
+  once per *batch-level event* (a posterior matrix call, an attempt, a
+  chunk), never per row or per element.  The disabled-tracing perf
+  gate (<2%) holds because the increments are a handful of integer adds
+  against workloads of millions of float ops.
+* **Zero dependencies** — stdlib only.
+
+Handles are memoised by name: modules grab them once at import time
+(``_ROWS_TREE = REGISTRY.counter("posterior.rows.tree")``) so the hot
+path pays no dict lookup.  :meth:`MetricsRegistry.reset` zeroes values
+in place, keeping every existing handle valid — tests bracket a seeded
+run with ``reset()`` + ``snapshot()`` to assert counter coherence.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "metrics_snapshot",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += int(amount)
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (e.g. a configured chunk size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming count/total/min/max summary of observed values.
+
+    Deliberately bucket-free: the consumers (manifests, ``repro
+    trace``) want "how many, how big on average, how extreme", and a
+    four-field summary keeps ``observe`` to a few scalar ops.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._reset()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Bulk observe (e.g. a per-world ``converged_at`` array)."""
+        n = len(values)
+        if n == 0:
+            return
+        self.count += int(n)
+        self.total += float(sum(values))
+        lo, hi = min(values), max(values)
+        if lo < self.min:
+            self.min = float(lo)
+        if hi > self.max:
+            self.max = float(hi)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _snapshot(self):
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument registry with in-place reset.
+
+    ``counter``/``gauge``/``histogram`` memoise by name, so repeated
+    calls return the same handle; asking for a name already registered
+    as a different kind raises.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls(name)
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """Flat name → value dict (histograms become summary dicts).
+
+        Sorted by name so manifests and diffs are stable.
+        """
+        return {
+            name: self._instruments[name]._snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* — existing handles stay valid."""
+        for instrument in self._instruments.values():
+            instrument._reset()
+
+    def get(self, name: str, default=0):
+        """Snapshot one instrument's value (``default`` when unregistered)."""
+        instrument = self._instruments.get(name)
+        return instrument._snapshot() if instrument is not None else default
+
+
+#: The process-wide registry every engine instruments against.
+REGISTRY = MetricsRegistry()
+
+
+def metrics_snapshot() -> dict:
+    """Snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Zero the process-wide registry (handles stay valid)."""
+    REGISTRY.reset()

@@ -35,6 +35,7 @@ from repro.anf.distance_stats import neighbourhood_function_to_histogram
 from repro.anf.hyperanf import NeighbourhoodFunction
 from repro.anf.hyperloglog import estimate_many, init_registers
 from repro.graphs.traversal import multi_range
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.stats.distance import (
     average_distance,
     connectivity_length,
@@ -42,6 +43,11 @@ from repro.stats.distance import (
     effective_diameter,
 )
 from repro.worlds.batch import WorldBatch
+
+# HyperANF telemetry (repro.obs): worlds diffused and their
+# iterations-to-fixpoint distribution (converged_at per world).
+_ANF_WORLDS = _OBS.counter("anf.worlds")
+_ANF_ITERATIONS = _OBS.histogram("anf.iterations")
 
 
 class _UnionPlan:
@@ -178,6 +184,8 @@ def hyperanf_batch(
             frontier[indices[multi_range(indptr[with_nbrs], degs[with_nbrs])]] = True
         frontier &= active[row_world]
 
+    _ANF_WORLDS.add(W)
+    _ANF_ITERATIONS.observe_many(converged_at)
     return [
         NeighbourhoodFunction(values=np.asarray(values[w]), converged_at=int(converged_at[w]))
         for w in range(W)

@@ -25,8 +25,16 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.uncertain.graph import UncertainGraph
 from repro.utils.rng import as_rng
+
+# Slice-reuse accounting (repro.obs): how often the shared union
+# incidence is actually built vs served from the travelling cell —
+# the structural win of PR 6's streaming slice path, now observable.
+_UNION_BUILT = _OBS.counter("worlds.union_incidence.built")
+_UNION_REUSED = _OBS.counter("worlds.union_incidence.reused")
+_WORLDS_SAMPLED = _OBS.counter("worlds.sampled")
 
 
 def draw_packed_keep_bits(rng, worlds: int, m: int, predicate) -> np.ndarray:
@@ -159,6 +167,7 @@ class WorldBatch:
         packed = draw_packed_keep_bits(
             rng, worlds, len(ps), lambda uniforms: uniforms < ps
         )
+        _WORLDS_SAMPLED.add(worlds)
         return cls(uncertain.num_vertices, us, vs, packed, len(ps))
 
     @classmethod
@@ -293,6 +302,9 @@ class WorldBatch:
         """
         if self._union_cell[0] is None:
             self._union_cell[0] = _UnionIncidence(self._us, self._vs)
+            _UNION_BUILT.add(1)
+        else:
+            _UNION_REUSED.add(1)
         return self._union_cell[0]
 
     def slice(self, lo: int, hi: int) -> "WorldBatch":

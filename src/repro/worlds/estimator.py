@@ -37,6 +37,8 @@ from collections.abc import Callable, Mapping
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.obs.trace import span
 from repro.stats.distance import (
     average_distance,
     connectivity_length,
@@ -69,6 +71,14 @@ BATCHED_STATISTIC_NAMES = frozenset(
 )
 
 _UNSET = object()
+
+# Chunking telemetry (repro.obs): how the engine actually sliced its
+# work — auto chunk sizes chosen, worlds evaluated per slice, streamed
+# release batches consumed.
+_EVAL_CHUNKS = _OBS.counter("worlds.eval.chunks")
+_EVAL_WORLDS = _OBS.counter("worlds.eval.worlds")
+_EVAL_CHUNK_HIST = _OBS.histogram("worlds.eval.chunk_size")
+_STREAM_BATCHES = _OBS.counter("worlds.eval.stream_batches")
 
 
 class BatchStatisticsEngine:
@@ -197,19 +207,26 @@ class BatchStatisticsEngine:
             chunk_size = max(
                 1, (2 << 20) // max(batch.num_vertices << self._anf_b, 1)
             )
+        _EVAL_WORLDS.add(W)
         if W > chunk_size:
-            values = {name: np.empty(W, dtype=np.float64) for name in names}
-            graphs: list[Graph] = []
-            for lo in range(0, W, chunk_size):
-                sub = batch.slice(lo, min(lo + chunk_size, W))
-                out, sub_graphs = self._evaluate_one(
-                    sub, names, collect_worlds=collect_worlds
-                )
-                for name in names:
-                    values[name][lo : lo + sub.num_worlds] = out[name]
-                graphs.extend(sub_graphs)
-            return values, graphs
-        return self._evaluate_one(batch, names, collect_worlds=collect_worlds)
+            with span("worlds.evaluate", worlds=W, chunk_size=chunk_size):
+                values = {name: np.empty(W, dtype=np.float64) for name in names}
+                graphs: list[Graph] = []
+                for lo in range(0, W, chunk_size):
+                    sub = batch.slice(lo, min(lo + chunk_size, W))
+                    _EVAL_CHUNKS.add(1)
+                    _EVAL_CHUNK_HIST.observe(sub.num_worlds)
+                    out, sub_graphs = self._evaluate_one(
+                        sub, names, collect_worlds=collect_worlds
+                    )
+                    for name in names:
+                        values[name][lo : lo + sub.num_worlds] = out[name]
+                    graphs.extend(sub_graphs)
+                return values, graphs
+        _EVAL_CHUNKS.add(1)
+        _EVAL_CHUNK_HIST.observe(W)
+        with span("worlds.evaluate", worlds=W, chunk_size=chunk_size):
+            return self._evaluate_one(batch, names, collect_worlds=collect_worlds)
 
     def evaluate_stream(
         self,
@@ -241,6 +258,7 @@ class BatchStatisticsEngine:
             names = list(self._statistics)
         parts: dict[str, list[np.ndarray]] = {name: [] for name in names}
         for batch in batches:
+            _STREAM_BATCHES.add(1)
             chunk, _ = self.evaluate(batch, names, chunk_size=chunk_size)
             for name in names:
                 parts[name].append(chunk[name])
@@ -380,17 +398,18 @@ class BatchedWorldStatisticsEstimator:
         values = {name: np.empty(worlds, dtype=np.float64) for name in names}
         self.last_worlds = []
         done = 0
-        while done < worlds:
-            count = min(self._chunk_size, worlds - done)
-            batch = WorldBatch.sample(self._uncertain, count, seed=rng)
-            chunk, graphs = self._engine.evaluate(
-                batch, names, collect_worlds=collect_worlds
-            )
-            if collect_worlds:
-                self.last_worlds.extend(graphs)
-            for name in names:
-                values[name][done : done + count] = chunk[name]
-            done += count
+        with span("worlds.run", worlds=worlds, chunk_size=self._chunk_size):
+            while done < worlds:
+                count = min(self._chunk_size, worlds - done)
+                batch = WorldBatch.sample(self._uncertain, count, seed=rng)
+                chunk, graphs = self._engine.evaluate(
+                    batch, names, collect_worlds=collect_worlds
+                )
+                if collect_worlds:
+                    self.last_worlds.extend(graphs)
+                for name in names:
+                    values[name][done : done + count] = chunk[name]
+                done += count
         return {
             name: SampleSummary(name=name, values=values[name]) for name in names
         }

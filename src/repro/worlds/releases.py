@@ -43,12 +43,19 @@ from repro.baselines.randomization import (
     sample_added_pairs,
 )
 from repro.graphs.graph import Graph
+from repro.obs.metrics import REGISTRY as _OBS
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_probability
 from repro.worlds.batch import WorldBatch, draw_packed_keep_bits
 
 #: The two whole-edge randomization schemes of §7.3.
 RELEASE_SCHEMES = ("sparsification", "perturbation")
+
+# Streaming telemetry (repro.obs): chunk shape of the release stream —
+# the knob bounding the cross-release union working set.
+_RELEASE_CHUNKS = _OBS.counter("releases.stream.chunks")
+_RELEASE_WORLDS = _OBS.counter("releases.stream.worlds")
+_RELEASE_CHUNK_HIST = _OBS.histogram("releases.stream.chunk_size")
 
 
 def sample_releases(
@@ -243,6 +250,9 @@ def stream_releases(
     edges = graph.edge_array()
     for lo in range(0, worlds, chunk_size):
         count = min(chunk_size, worlds - lo)
+        _RELEASE_CHUNKS.add(1)
+        _RELEASE_WORLDS.add(count)
+        _RELEASE_CHUNK_HIST.observe(count)
         if scheme == "sparsification":
             yield _sparsification_batch(
                 rng, graph.num_vertices, edges, p, count

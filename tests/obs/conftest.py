@@ -1,0 +1,23 @@
+"""Shared obs fixtures: keep the process-global tracer/registry clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_globals():
+    """Every test starts untraced with zeroed metrics, and leaves no tracer.
+
+    The tracer slot and the registry are process-wide singletons; a test
+    that fails mid-span must not leak an active tracer (or counts) into
+    its neighbours.
+    """
+    disable_tracing()
+    reset_metrics()
+    yield
+    disable_tracing()
+    reset_metrics()

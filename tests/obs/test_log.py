@@ -1,0 +1,27 @@
+"""Verbosity mapping and idempotent handler setup."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.log import setup_logging, verbosity_level
+
+
+def test_verbosity_mapping():
+    assert verbosity_level() == logging.WARNING
+    assert verbosity_level(verbose=1) == logging.INFO
+    assert verbosity_level(verbose=2) == logging.DEBUG
+    assert verbosity_level(verbose=5) == logging.DEBUG
+    assert verbosity_level(quiet=True) == logging.ERROR
+    assert verbosity_level(verbose=3, quiet=True) == logging.ERROR  # quiet wins
+
+
+def test_setup_logging_never_stacks_handlers():
+    logger = setup_logging(verbose=1)
+    assert logger.name == "repro"
+    assert logger.level == logging.INFO
+    again = setup_logging(quiet=True)
+    assert again is logger
+    assert len(logger.handlers) == 1  # replaced, not stacked
+    assert logger.level == logging.ERROR
+    assert logger.propagate is False

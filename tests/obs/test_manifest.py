@@ -1,0 +1,134 @@
+"""Run-manifest schema: build, round-trip, and every rejection path."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs.manifest import (
+    SCHEMA_ID,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.trace import disable_tracing, enable_tracing, span
+
+
+def _run_manifest(**kwargs):
+    tracer = enable_tracing()
+    with span("phase", worlds=3):
+        with span("chunk"):
+            pass
+    disable_tracing()
+    defaults = dict(
+        config={"k": 20, "eps": 1e-3}, seed=7, tracer=tracer, results={"ok": True}
+    )
+    defaults.update(kwargs)
+    return build_manifest("repro test", **defaults)
+
+
+def test_build_manifest_is_schema_valid():
+    manifest = _run_manifest()
+    assert validate_manifest(manifest) == []
+    assert manifest["schema"] == SCHEMA_ID
+    assert manifest["seed"] == 7
+    assert manifest["spans"][0]["name"] == "phase"
+    assert manifest["spans"][0]["children"][0]["name"] == "chunk"
+    assert manifest["results"] == {"ok": True}
+
+
+def test_elapsed_defaults_to_root_span_total():
+    manifest = _run_manifest()
+    assert manifest["elapsed_s"] == pytest.approx(
+        manifest["spans"][0]["wall_s"]
+    )
+
+
+def test_config_values_are_json_safe():
+    manifest = _run_manifest(
+        config={
+            "path": Path("/tmp/x"),
+            "grid": (1, 2),
+            "n": np.int64(5),
+            "obj": object(),
+        }
+    )
+    encoded = json.loads(json.dumps(manifest["config"]))
+    assert encoded["path"] == "/tmp/x"
+    assert encoded["grid"] == [1, 2]
+    assert encoded["n"] == 5
+    assert isinstance(encoded["obj"], str)
+
+
+def test_metrics_snapshot_included_by_default():
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.counter("manifest.test").add(3)
+    manifest = _run_manifest()
+    assert manifest["metrics"]["manifest.test"] == 3
+
+
+def test_write_load_round_trip(tmp_path):
+    manifest = _run_manifest()
+    path = write_manifest(tmp_path / "sub" / "manifest.json", manifest)
+    assert path.exists()  # parent dirs created
+    assert load_manifest(path)["command"] == "repro test"
+
+
+def test_write_refuses_invalid(tmp_path):
+    manifest = _run_manifest()
+    del manifest["versions"]
+    with pytest.raises(ValueError, match="invalid manifest"):
+        write_manifest(tmp_path / "manifest.json", manifest)
+
+
+def test_load_rejects_corrupted(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({"schema": SCHEMA_ID}))
+    with pytest.raises(ValueError, match="invalid manifest"):
+        load_manifest(path)
+
+
+class TestValidateRejections:
+    def test_non_dict(self):
+        assert validate_manifest([1]) == ["manifest must be a JSON object"]
+
+    def test_missing_field(self):
+        manifest = _run_manifest()
+        del manifest["metrics"]
+        assert any("metrics" in e for e in validate_manifest(manifest))
+
+    def test_wrong_type(self):
+        manifest = _run_manifest()
+        manifest["elapsed_s"] = "fast"
+        assert any("elapsed_s" in e for e in validate_manifest(manifest))
+
+    def test_wrong_schema_id(self):
+        manifest = _run_manifest()
+        manifest["schema"] = "other/v9"
+        assert any("expected" in e for e in validate_manifest(manifest))
+
+    def test_bad_span_node(self):
+        manifest = _run_manifest()
+        manifest["spans"] = [{"name": "x"}]  # missing timing fields
+        errors = validate_manifest(manifest)
+        assert any("wall_s" in e for e in errors)
+
+    def test_bad_nested_span_located(self):
+        manifest = _run_manifest()
+        manifest["spans"][0]["children"] = ["not a span"]
+        errors = validate_manifest(manifest)
+        assert any("children[0]" in e for e in errors)
+
+    def test_bad_metric_value(self):
+        manifest = _run_manifest()
+        manifest["metrics"] = {"x": [1, 2]}
+        assert any("metrics['x']" in e for e in validate_manifest(manifest))
+
+    def test_seed_nullable(self):
+        manifest = _run_manifest(seed=None)
+        assert validate_manifest(manifest) == []

@@ -1,0 +1,117 @@
+"""Unit contract of the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_snapshot,
+    reset_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_add_coerces_to_int(self):
+        c = Counter("x")
+        c.add(3.0)
+        assert c.value == 3 and isinstance(c.value, int)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_observe_summary(self):
+        h = Histogram("x")
+        for v in (4, 1, 7):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0 and h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_observe_many_matches_loop(self):
+        bulk, loop = Histogram("bulk"), Histogram("loop")
+        values = [5, 2, 9, 2]
+        bulk.observe_many(values)
+        for v in values:
+            loop.observe(v)
+        assert bulk._snapshot() == loop._snapshot()
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram("x")
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_empty_snapshot_is_json_safe(self):
+        snap = Histogram("x")._snapshot()
+        assert snap == {"count": 0, "total": 0.0, "min": None, "max": None,
+                        "mean": None}
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("x").mean)
+
+
+class TestRegistry:
+    def test_handles_are_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").add(2)
+        reg.gauge("a.gauge").set(1.5)
+        reg.histogram("c.hist").observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.gauge", "b.count", "c.hist"]
+        assert snap["b.count"] == 2
+        assert snap["a.gauge"] == 1.5
+        assert snap["c.hist"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        """Reset must keep existing handles valid — modules memoise them."""
+        reg = MetricsRegistry()
+        handle = reg.counter("a")
+        handle.add(5)
+        reg.reset()
+        assert handle.value == 0
+        handle.add(1)
+        assert reg.get("a") == 1
+
+    def test_get_default_for_unregistered(self):
+        reg = MetricsRegistry()
+        assert reg.get("nope") == 0
+        assert reg.get("nope", default=None) is None
+
+
+def test_module_level_helpers_hit_the_global_registry():
+    REGISTRY.counter("test.helper").add(7)
+    assert metrics_snapshot()["test.helper"] == 7
+    reset_metrics()
+    assert metrics_snapshot()["test.helper"] == 0
