@@ -1,0 +1,221 @@
+"""CI smoke test for the serving layer (``repro.serve``).
+
+Builds the surrogate-dblp release, then checks the three contracts the
+serving subsystem pins:
+
+1. **Oracle pinning over the wire**: a TCP workload burst against a
+   live :class:`ObfuscationServer` samples answers and re-derives each
+   from the sequential :mod:`repro.uncertain.queries` oracle at the
+   server's ``(seed, worlds)`` — every sampled answer must match
+   exactly (distances/supports are ratios of integer world counts).
+2. **Throughput**: the open-loop workload generator sustains ≥ 1000 QPS
+   of the mixed query stream against the release on one core (library
+   driver — no socket noise — after the YCSB-style load phase).
+3. **Receipts**: the run manifest carries per-op p50/p99 latency
+   histograms and validates against the ``repro.obs`` schema.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Exit status: 0 = all contracts hold, 1 = first violated contract
+(printed to stderr).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from workload import (  # noqa: E402
+    WorkloadConfig,
+    run_library,
+    run_server,
+    surrogate_release,
+)
+
+from repro.obs.manifest import build_manifest, load_manifest, write_manifest  # noqa: E402
+from repro.serve import ObfuscationServer, QueryEngine  # noqa: E402
+from repro.uncertain import (  # noqa: E402
+    distance_distribution,
+    k_hop_reachable_size,
+    k_nearest_neighbors,
+    majority_distance,
+    median_distance,
+    reliability,
+)
+
+QPS_FLOOR = 1000.0
+SERVER_WORLDS = 32
+SERVER_SEED = 7
+
+
+def fail(message: str) -> None:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _wire(value: float):
+    return "inf" if isinstance(value, float) and math.isinf(value) else value
+
+
+def check_sample(release, request: dict, result: dict) -> None:
+    """Re-derive one served answer from the sequential oracle."""
+    op, s = request["op"], request["source"]
+    kw = {"worlds": SERVER_WORLDS, "seed": SERVER_SEED}
+    if op == "degree":
+        expected = float(release.expected_degrees()[s])
+        ok = result["value"] == expected
+    elif op == "reliability":
+        expected = reliability(release, s, request["target"], **kw)
+        ok = result["value"] == expected
+    elif op == "khop":
+        expected = k_hop_reachable_size(release, s, request["hops"], **kw)
+        ok = result["value"] == expected
+    elif op == "knn":
+        oracle = k_nearest_neighbors(release, s, request["k"], **kw)
+        expected = [[v, sup] for v, sup in oracle]
+        ok = result["neighbors"] == expected
+    else:  # distance
+        t = request["target"]
+        oracle = distance_distribution(release, s, t, **kw)
+        expected = {
+            str(_wire(float(d)) if math.isinf(d) else int(d)): p
+            for d, p in oracle.items()
+        }
+        med = _wire(median_distance(release, s, t, **kw))
+        maj = _wire(majority_distance(release, s, t, **kw))
+        ok = (
+            result["distribution"] == expected
+            and result["median"] == med
+            and result["majority"] == maj
+        )
+        expected = {"distribution": expected, "median": med, "majority": maj}
+    if not ok:
+        fail(f"served answer diverges from oracle for {request}: "
+             f"got {result}, oracle {expected}")
+
+
+def main() -> int:
+    print("building surrogate-dblp release ...")
+    release = surrogate_release(scale=1.0, seed=0)
+    print(
+        f"release: n={release.num_vertices} "
+        f"candidates={release.num_candidate_pairs}"
+    )
+
+    # ---- contract 1: oracle pinning through a live server ------------
+    engine = QueryEngine(release, worlds=SERVER_WORLDS, seed=SERVER_SEED)
+    server = ObfuscationServer(engine, port=0, window_ms=1.0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    if not started.wait(30):
+        fail("server did not start")
+    print(f"server listening on {server.host}:{server.port}")
+
+    burst = WorkloadConfig(
+        qps=500.0,
+        duration_s=1.0,
+        popular_pairs=64,
+        seed=1,
+        connections=4,
+    )
+    try:
+        server_result = run_server(
+            server.host, server.port, burst, release.num_vertices
+        )
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(30)
+    if server_result.errors:
+        fail(f"{server_result.errors} server-side query errors")
+    if server_result.completed < burst.num_requests:
+        fail(
+            f"only {server_result.completed}/{burst.num_requests} "
+            "burst responses arrived"
+        )
+    if not server_result.samples:
+        fail("burst produced no spot-check samples")
+    for request, result in server_result.samples:
+        check_sample(release, request, result)
+    print(
+        f"oracle pinning: {len(server_result.samples)} sampled answers "
+        f"match queries.py exactly "
+        f"({server_result.completed} served at "
+        f"{server_result.qps_achieved:.0f} qps over TCP)"
+    )
+
+    # ---- contract 2: >= 1k QPS, library driver -----------------------
+    gate = WorkloadConfig(qps=1500.0, duration_s=2.0, seed=2)
+    gate_engine = QueryEngine(release, worlds=64, seed=0)
+    gate_result = run_library(gate_engine, gate)
+    if gate_result.errors:
+        fail(f"{gate_result.errors} library-driver query errors")
+    if gate_result.qps_achieved < QPS_FLOOR:
+        fail(
+            f"throughput {gate_result.qps_achieved:.0f} qps "
+            f"below the {QPS_FLOOR:.0f} qps floor"
+        )
+    summary = gate_result.latency_summary()
+    for op, row in summary.items():
+        print(
+            f"  {op:<12} p50={row['p50_ms']:.3f}ms p99={row['p99_ms']:.3f}ms"
+        )
+    print(
+        f"throughput: {gate_result.qps_achieved:.0f} qps sustained "
+        f"(target {gate.qps:g}, floor {QPS_FLOOR:g})"
+    )
+
+    # ---- contract 3: manifest with latency histograms ----------------
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        manifest_path = Path(tmp) / "manifest.json"
+        write_manifest(
+            manifest_path,
+            build_manifest(
+                "benchmarks/serve_smoke.py",
+                config={
+                    "qps": gate.qps,
+                    "duration_s": gate.duration_s,
+                    "worlds": 64,
+                },
+                seed=gate.seed,
+                results={
+                    "achieved_qps": gate_result.qps_achieved,
+                    "completed": gate_result.completed,
+                    "latency": summary,
+                },
+            ),
+        )
+        manifest = load_manifest(manifest_path)  # raises if schema-invalid
+        latency = manifest["results"]["latency"]
+        for op in ("reliability", "degree", "knn"):
+            row = latency.get(op)
+            if not row or "p50_ms" not in row or "p99_ms" not in row:
+                fail(f"manifest latency histogram missing for {op!r}")
+        if "serve.queries" not in manifest["metrics"]:
+            fail("serve.* metrics missing from manifest metrics dump")
+    print("manifest: schema valid, per-op p50/p99 latency recorded")
+
+    print("\nserve smoke passed: oracle pinning, >=1k QPS, latency manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,422 @@
+"""YCSB-style open-loop workload generator for the obfuscation service.
+
+Generates a mixed query stream (degree / reliability / k-hop /
+distance-distribution / k-NN) with **zipfian pair popularity** — rank-r
+pair drawn with probability ∝ 1/r^θ, the YCSB default access skew —
+and drives it at a **target QPS on an open-loop schedule**: request i
+is *due* at ``t0 + i/qps`` regardless of how fast earlier requests
+completed, so per-op latency = completion − due time and includes the
+queueing delay of a system that falls behind (the honest number; a
+closed loop would hide overload as lower throughput).
+
+Two drivers share the schedule:
+
+* ``library`` — calls :meth:`repro.serve.engine.QueryEngine.execute`
+  directly, coalescing every due request into one engine window.  This
+  measures the serving kernels without socket cost and is what the CI
+  QPS gate runs.
+* ``server`` — asyncio clients over TCP against a running
+  :class:`~repro.serve.server.ObfuscationServer`, pipelining requests
+  on ``--connections`` connections as they come due.
+
+Latency is recorded per op in bounded-bucket percentile histograms
+(:class:`repro.obs.Histogram` with exponential buckets), reported as
+p50/p99, appended to ``benchmarks/results/serve_workload.csv``, and —
+with ``--manifest DIR`` — written into a schema-valid run manifest.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/workload.py --mode library \
+        --qps 2000 --duration 2
+    PYTHONPATH=src python benchmarks/workload.py --mode server \
+        --host 127.0.0.1 --port 7687 --qps 1000 --duration 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import csv
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.search import obfuscate  # noqa: E402
+from repro.graphs.datasets import dblp_like  # noqa: E402
+from repro.obs import exponential_buckets  # noqa: E402
+from repro.obs.manifest import build_manifest, write_manifest  # noqa: E402
+from repro.obs.metrics import Histogram  # noqa: E402
+from repro.serve.engine import QueryEngine  # noqa: E402
+from repro.serve.protocol import Query  # noqa: E402
+from repro.uncertain.io import read_uncertain_graph  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: default query mix (fractions; normalised at use).
+DEFAULT_MIX = {
+    "reliability": 0.30,
+    "degree": 0.25,
+    "khop": 0.15,
+    "distance": 0.15,
+    "knn": 0.15,
+}
+
+#: 1 µs .. ~8.4 s in ×2 steps — covers cache hits to overload tails.
+LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 24)
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of one workload run."""
+
+    qps: float = 1000.0
+    duration_s: float = 2.0
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    zipf_theta: float = 0.99
+    popular_pairs: int = 256
+    seed: int = 0
+    connections: int = 8
+    worlds: int | None = None  # None = engine/server default
+    query_seed: int | None = None
+    warmup: bool = True  # YCSB-style load phase before the timed run
+
+    @property
+    def num_requests(self) -> int:
+        return max(1, int(self.qps * self.duration_s))
+
+
+def zipfian_ranks(rng: np.random.Generator, theta: float, count: int, size: int):
+    """Draw ``size`` ranks in [0, count) with P(r) ∝ 1/(r+1)^θ."""
+    weights = 1.0 / np.arange(1, count + 1, dtype=np.float64) ** theta
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size), side="right")
+
+
+def build_schedule(config: WorkloadConfig, n: int) -> list[tuple[float, dict]]:
+    """The full open-loop request schedule: ``(due_offset_s, request)``.
+
+    Deterministic in ``config.seed``: the popular-pair table, the
+    per-request zipfian ranks, and the op mix are all drawn from one
+    seeded generator, so two drivers given the same config issue the
+    *same* queries at the same due times.
+    """
+    rng = np.random.default_rng(config.seed)
+    count = config.num_requests
+    pair_count = min(config.popular_pairs, n * (n - 1) // 2)
+    sources = rng.integers(0, n, size=pair_count)
+    targets = (sources + 1 + rng.integers(0, n - 1, size=pair_count)) % n
+    ranks = zipfian_ranks(rng, config.zipf_theta, pair_count, count)
+    ops = list(config.mix)
+    probs = np.array([config.mix[op] for op in ops], dtype=np.float64)
+    probs /= probs.sum()
+    op_draws = rng.choice(len(ops), size=count, p=probs)
+    schedule = []
+    for i in range(count):
+        rank = int(ranks[i])
+        s, t = int(sources[rank]), int(targets[rank])
+        op = ops[int(op_draws[i])]
+        request: dict = {"op": op, "source": s}
+        if op in ("reliability", "distance"):
+            request["target"] = t
+        elif op == "khop":
+            request["hops"] = 2
+        elif op == "knn":
+            request["k"] = 10
+        if config.worlds is not None:
+            request["worlds"] = config.worlds
+        if config.query_seed is not None:
+            request["seed"] = config.query_seed
+        schedule.append((i / config.qps, request))
+    return schedule
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one driven run."""
+
+    completed: int
+    errors: int
+    elapsed_s: float
+    histograms: dict  # op → Histogram
+    samples: list  # (request, result payload) spot-check sample
+
+    @property
+    def qps_achieved(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s else 0.0
+
+    def latency_summary(self) -> dict:
+        out = {}
+        for op, hist in sorted(self.histograms.items()):
+            if hist.count:
+                out[op] = {
+                    "count": hist.count,
+                    "p50_ms": hist.percentile(0.50) * 1e3,
+                    "p99_ms": hist.percentile(0.99) * 1e3,
+                    "max_ms": hist.max * 1e3,
+                }
+        return out
+
+
+def _new_histograms() -> dict:
+    return {op: Histogram(f"workload.{op}", buckets=LATENCY_BUCKETS)
+            for op in DEFAULT_MIX}
+
+
+def unique_requests(schedule: list) -> list[dict]:
+    """Distinct requests of a schedule (the warmup working set)."""
+    seen: dict[str, dict] = {}
+    for _, request in schedule:
+        seen.setdefault(json.dumps(request, sort_keys=True), request)
+    return list(seen.values())
+
+
+def run_library(engine: QueryEngine, config: WorkloadConfig) -> WorkloadResult:
+    """Drive the engine directly, coalescing all due requests per pass."""
+    schedule = build_schedule(config, engine.uncertain.num_vertices)
+    histograms = _new_histograms()
+    samples: list = []
+    completed = errors = 0
+    if config.warmup:
+        # Load phase: touch the whole working set once (one coalesced
+        # window: one world batch + one BFS per distinct source), so the
+        # timed run measures steady-state serving, not first-touch cost.
+        engine.execute([Query(**r) for r in unique_requests(schedule)])
+    i = 0
+    t0 = time.perf_counter()
+    while i < len(schedule):
+        now = time.perf_counter() - t0
+        due_end = i
+        while due_end < len(schedule) and schedule[due_end][0] <= now:
+            due_end += 1
+        if due_end == i:
+            time.sleep(min(schedule[i][0] - now, 0.001))
+            continue
+        window = schedule[i:due_end]
+        queries = [Query(**req) for _, req in window]
+        payloads = engine.execute(queries)
+        done = time.perf_counter() - t0
+        for (due, request), payload in zip(window, payloads):
+            op = request["op"]
+            histograms[op].observe(max(done - due, 0.0))
+            if "error" in payload:
+                errors += 1
+            else:
+                completed += 1
+                if len(samples) < 64 and completed % 97 == 1:
+                    samples.append((request, payload["result"]))
+        i = due_end
+    elapsed = time.perf_counter() - t0
+    return WorkloadResult(completed, errors, elapsed, histograms, samples)
+
+
+async def _run_server_async(
+    host: str, port: int, config: WorkloadConfig, schedule: list
+) -> WorkloadResult:
+    histograms = _new_histograms()
+    samples: list = []
+    completed = errors = 0
+    connections = [
+        await asyncio.open_connection(host, port)
+        for _ in range(config.connections)
+    ]
+    loop = asyncio.get_running_loop()
+    if config.warmup:
+        # Load phase through the socket: pipeline the working set on one
+        # connection and wait for every response before starting the clock.
+        reader0, writer0 = connections[0]
+        warm = unique_requests(schedule)
+        for j, request in enumerate(warm):
+            writer0.write(
+                (json.dumps({"id": -1 - j, **request}) + "\n").encode()
+            )
+        await writer0.drain()
+        for _ in warm:
+            await asyncio.wait_for(reader0.readline(), 120.0)
+    t0 = loop.time()
+    in_flight: dict[int, tuple[float, dict]] = {}
+
+    # hard stop: a stuck server must not hang the generator forever.
+    deadline = t0 + config.duration_s + 30.0
+
+    async def reader_task(reader: asyncio.StreamReader):
+        nonlocal completed, errors
+        while loop.time() < deadline:
+            if senders_done.is_set() and not in_flight:
+                break
+            try:
+                line = await asyncio.wait_for(reader.readline(), 0.25)
+            except asyncio.TimeoutError:
+                continue
+            if not line:
+                break
+            obj = json.loads(line)
+            meta = in_flight.pop(obj["id"], None)
+            if meta is None:
+                continue
+            due, request = meta
+            histograms[request["op"]].observe(max(loop.time() - t0 - due, 0.0))
+            if obj.get("ok"):
+                completed += 1
+                if len(samples) < 64 and completed % 97 == 1:
+                    samples.append((request, obj["result"]))
+            else:
+                errors += 1
+
+    senders_done = asyncio.Event()
+    readers = [asyncio.create_task(reader_task(r)) for r, _ in connections]
+
+    async def send_all():
+        for i, (due, request) in enumerate(schedule):
+            delay = due - (loop.time() - t0)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            _, writer = connections[i % len(connections)]
+            in_flight[i] = (due, request)
+            writer.write(
+                (json.dumps({"id": i, **request}) + "\n").encode()
+            )
+        for _, writer in connections:
+            await writer.drain()
+        senders_done.set()
+
+    await send_all()
+    await asyncio.gather(*readers)
+    elapsed = loop.time() - t0
+    for _, writer in connections:
+        writer.close()
+    return WorkloadResult(completed, errors, elapsed, histograms, samples)
+
+
+def run_server(
+    host: str, port: int, config: WorkloadConfig, n: int
+) -> WorkloadResult:
+    """Drive a running server over TCP at the configured open-loop QPS."""
+    schedule = build_schedule(config, n)
+    return asyncio.run(_run_server_async(host, port, config, schedule))
+
+
+def append_csv(path: Path, mode: str, config: WorkloadConfig, result: WorkloadResult) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fresh = not path.exists()
+    with path.open("a", newline="") as fh:
+        writer = csv.writer(fh)
+        if fresh:
+            writer.writerow(
+                [
+                    "mode", "op", "target_qps", "achieved_qps", "count",
+                    "p50_ms", "p99_ms", "max_ms",
+                ]
+            )
+        for op, row in result.latency_summary().items():
+            writer.writerow(
+                [
+                    mode, op, f"{config.qps:g}",
+                    f"{result.qps_achieved:.1f}", row["count"],
+                    f"{row['p50_ms']:.4f}", f"{row['p99_ms']:.4f}",
+                    f"{row['max_ms']:.4f}",
+                ]
+            )
+
+
+def surrogate_release(scale: float = 1.0, *, seed: int = 0):
+    """The surrogate-dblp release the smoke/QPS runs serve."""
+    graph = dblp_like(scale=scale, seed=seed)
+    result = obfuscate(
+        graph, k=5, eps=0.3, seed=seed, attempts=2, delta=0.1
+    )
+    if not result.success:  # pragma: no cover - surrogate always obfuscates
+        raise RuntimeError("surrogate obfuscation failed")
+    return result.uncertain
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("library", "server"), default="library")
+    parser.add_argument("--release", help="uncertain-graph file (default: surrogate dblp)")
+    parser.add_argument("--scale", type=float, default=1.0, help="surrogate scale")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7687)
+    parser.add_argument("--qps", type=float, default=1000.0)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--theta", type=float, default=0.99, help="zipf skew")
+    parser.add_argument("--pairs", type=int, default=256, help="popular pairs")
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--worlds", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", default=str(RESULTS_DIR / "serve_workload.csv"))
+    parser.add_argument("--manifest", help="write DIR/manifest.json with latency histograms")
+    args = parser.parse_args(argv)
+
+    config = WorkloadConfig(
+        qps=args.qps,
+        duration_s=args.duration,
+        zipf_theta=args.theta,
+        popular_pairs=args.pairs,
+        seed=args.seed,
+        connections=args.connections,
+    )
+
+    if args.mode == "library":
+        if args.release:
+            release = read_uncertain_graph(args.release)
+        else:
+            release = surrogate_release(args.scale, seed=args.seed)
+        engine = QueryEngine(release, worlds=args.worlds, seed=args.seed)
+        print(
+            f"library driver: n={release.num_vertices} worlds={args.worlds} "
+            f"target={config.qps:g} qps for {config.duration_s:g}s"
+        )
+        result = run_library(engine, config)
+    else:
+        if args.release:
+            n = read_uncertain_graph(args.release).num_vertices
+        else:
+            n = dblp_like(scale=args.scale, seed=args.seed).num_vertices
+        print(
+            f"server driver: {args.host}:{args.port} n={n} "
+            f"target={config.qps:g} qps for {config.duration_s:g}s"
+        )
+        result = run_server(args.host, args.port, config, n)
+
+    summary = result.latency_summary()
+    print(
+        f"completed={result.completed} errors={result.errors} "
+        f"achieved={result.qps_achieved:.0f} qps"
+    )
+    for op, row in summary.items():
+        print(
+            f"  {op:<12} n={row['count']:<6} p50={row['p50_ms']:.3f}ms "
+            f"p99={row['p99_ms']:.3f}ms max={row['max_ms']:.3f}ms"
+        )
+    append_csv(Path(args.csv), args.mode, config, result)
+    print(f"appended {args.csv}")
+
+    if args.manifest:
+        manifest = build_manifest(
+            "benchmarks/workload.py",
+            config=vars(args),
+            seed=args.seed,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            results={
+                "mode": args.mode,
+                "completed": result.completed,
+                "errors": result.errors,
+                "achieved_qps": result.qps_achieved,
+                "latency": summary,
+            },
+        )
+        out = Path(args.manifest)
+        write_manifest(out / "manifest.json", manifest)
+        print(f"manifest written to {out}/manifest.json")
+    return 0 if result.errors == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

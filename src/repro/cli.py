@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     repro stats     --release release.txt --worlds 100
     repro sample    --release release.txt --output world.txt --seed 7
     repro compare   --input graph.txt --p 0.3 --samples 50
+    repro serve     --release release.txt --port 7687
     repro trace     run-dir/            # summarise a traced run
 
 ``graph.txt`` is a whitespace edge list (``u v`` per line, ``#``
@@ -192,6 +193,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="serve queries over a published release (TCP line-JSON)",
+        description=(
+            "Load a published uncertain graph and answer degree / "
+            "reliability / k-hop / distance-distribution / k-NN queries "
+            "from concurrent clients, coalescing concurrent queries into "
+            "shared possible-world batches.  Every answer is seed-pinned "
+            "to the sequential estimators of repro.uncertain.queries."
+        ),
+    )
+    p.add_argument("--release", required=True, help="uncertain-graph file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7687, help="0 picks a free port"
+    )
+    p.add_argument(
+        "--worlds", type=int, default=64,
+        help="default Monte-Carlo sample size per query",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="query-coalescing window in milliseconds",
+    )
+
+    p = sub.add_parser(
         "trace",
         help="summarise a traced run (trace.jsonl / manifest.json)",
         description=(
@@ -342,6 +370,39 @@ def _cmd_sample(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily: the serving layer pulls in asyncio plumbing the
+    # batch-oriented subcommands never need.
+    import asyncio
+
+    from repro.serve import ObfuscationServer, QueryEngine
+
+    with span("read_release", path=str(args.release)):
+        release = read_uncertain_graph(args.release)
+    engine = QueryEngine(release, worlds=args.worlds, seed=args.seed)
+    server = ObfuscationServer(
+        engine, host=args.host, port=args.port, window_ms=args.window_ms
+    )
+    print(
+        f"loaded {args.release}: n={release.num_vertices} "
+        f"candidates={release.num_candidate_pairs} worlds={args.worlds}"
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        try:
+            await asyncio.Event().wait()  # until KeyboardInterrupt
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     # Imported lazily: the reporting layer is only needed here.
     from repro.obs.report import resolve_run, summarise_run
@@ -367,6 +428,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "sample": _cmd_sample,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
     }
     setup_logging(getattr(args, "verbose", 0), getattr(args, "quiet", False))

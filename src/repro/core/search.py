@@ -8,10 +8,14 @@ less injected uncertainty, hence higher utility; the search realises the
 paper's "inject the minimal amount of uncertainty" objective.
 
 The result's run counters (``edges_processed``, ``rows_folded``,
-``rows_recomputed``) are derived from :mod:`repro.obs` registry deltas
-around the search rather than threaded through every probe — the
-registry is fed once per Algorithm-2 call by ``generate.py``, so the
-totals are exact and shared with manifests/``repro trace``.
+``rows_recomputed``) are accumulated per call from each probe's
+:class:`~repro.core.types.GenerationOutcome` — *not* from
+:mod:`repro.obs` registry deltas, which are process-global and would
+absorb the totals of any search running concurrently on another thread
+(or of coalesced server work).  The registry still receives every
+Algorithm-2 call's totals via ``generate.py`` for manifests and
+``repro trace``; for a single search after ``reset_metrics()`` the two
+accountings agree exactly (pinned by the counter-coherence tests).
 """
 
 from __future__ import annotations
@@ -32,9 +36,6 @@ from repro.utils.rng import as_rng
 
 _SEARCH_PROBES = _OBS.counter("search.probes")
 _SEARCH_RUNS = _OBS.counter("search.runs")
-_GEN_PAIRS_DRAWN = _OBS.counter("generate.pairs_drawn")
-_GEN_ROWS_FOLDED = _OBS.counter("generate.rows_folded")
-_GEN_ROWS_RECOMPUTED = _OBS.counter("generate.rows_recomputed")
 
 
 def obfuscate(
@@ -93,11 +94,10 @@ def obfuscate(
         context = SearchContext.for_params(graph, params)
     t0 = time.perf_counter()
     trace: list[SearchStep] = []
-    # Run counters come from registry deltas; generate.py adds each
-    # Algorithm-2 call's totals to these counters before returning.
-    pairs0 = _GEN_PAIRS_DRAWN.value
-    folded0 = _GEN_ROWS_FOLDED.value
-    recomputed0 = _GEN_ROWS_RECOMPUTED.value
+    # Run counters accumulate per call from each probe's outcome —
+    # scoped to THIS search, so concurrent searches (threads, coalesced
+    # server work) never absorb each other's totals.
+    totals = {"pairs_drawn": 0, "rows_folded": 0, "rows_recomputed": 0}
     _SEARCH_RUNS.add(1)
 
     def probe(sigma: float, phase: str) -> GenerationOutcome:
@@ -112,6 +112,9 @@ def obfuscate(
                 attempts=outcome.attempts_made,
                 pairs_drawn=outcome.pairs_drawn,
             )
+        totals["pairs_drawn"] += outcome.pairs_drawn
+        totals["rows_folded"] += outcome.rows_folded
+        totals["rows_recomputed"] += outcome.rows_recomputed
         trace.append(
             SearchStep(sigma=sigma, eps_achieved=outcome.eps_achieved, phase=phase)
         )
@@ -126,9 +129,9 @@ def obfuscate(
             ),
             params=params,
             trace=trace,
-            edges_processed=_GEN_PAIRS_DRAWN.value - pairs0,
-            rows_folded=_GEN_ROWS_FOLDED.value - folded0,
-            rows_recomputed=_GEN_ROWS_RECOMPUTED.value - recomputed0,
+            edges_processed=totals["pairs_drawn"],
+            rows_folded=totals["rows_folded"],
+            rows_recomputed=totals["rows_recomputed"],
             elapsed_seconds=time.perf_counter() - t0,
         )
 

@@ -37,6 +37,7 @@ from repro.obs.memory import peak_rss_mb
 from repro.obs.metrics import (
     REGISTRY,
     MetricsRegistry,
+    exponential_buckets,
     metrics_snapshot,
     reset_metrics,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "current_tracer",
     "disable_tracing",
     "enable_tracing",
+    "exponential_buckets",
     "git_sha",
     "library_versions",
     "load_manifest",

@@ -1,0 +1,38 @@
+"""Obfuscation-as-a-service: query a published release concurrently.
+
+The paper's output is a *published* uncertain graph; §1 argues its value
+is that the uncertain-graph query literature applies to it directly.
+This package makes that operational: :class:`QueryEngine` answers the
+standard query mix (degree / reliability / k-hop / distance
+distribution / k-NN) over a release, and :class:`ObfuscationServer`
+exposes it to many concurrent clients over a line-JSON TCP protocol,
+**coalescing** queries that arrive within a window into shared
+possible-world batches (one multi-source BFS pass per window instead of
+``worlds`` sequential BFS runs per request).
+
+Every served answer is seed-pinned: at equal ``(seed, worlds)`` it is
+bit-identical to the sequential oracle in
+:mod:`repro.uncertain.queries` (pinned by
+``tests/serve/test_engine.py`` and the CI ``serve-smoke`` job).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.engine import QueryEngine
+from repro.serve.protocol import (
+    OPS,
+    Query,
+    encode_response,
+    parse_request,
+)
+from repro.serve.server import ObfuscationServer
+
+__all__ = [
+    "OPS",
+    "ObfuscationServer",
+    "Query",
+    "QueryEngine",
+    "ServeClient",
+    "ServeError",
+    "encode_response",
+    "parse_request",
+]

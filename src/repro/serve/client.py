@@ -1,0 +1,91 @@
+"""Clients for the obfuscation server.
+
+:class:`ServeClient` is the blocking convenience client (tests, shell
+experiments): one socket, one request/response at a time, plus a
+pipelined :meth:`request_many` that ships a whole batch of requests in
+one write so they land in a single coalescing window on the server.
+
+The open-loop workload generator (``benchmarks/workload.py``) uses the
+asyncio helper :func:`open_connection` directly to keep many requests
+in flight at target QPS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.serve.protocol import decode_response
+
+__all__ = ["ServeClient", "ServeError", "open_connection"]
+
+
+class ServeError(RuntimeError):
+    """Server answered a request with ``ok: false``."""
+
+
+def _encode_request(request_id, op: str, params: dict) -> bytes:
+    obj = {"id": request_id, "op": op, **params}
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+
+
+class ServeClient:
+    """Blocking line-JSON client."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, **params) -> dict:
+        """One request, one response; raises :class:`ServeError` on errors."""
+        return self.request_many([{"op": op, **params}])[0]
+
+    def request_many(self, requests: list[dict]) -> list[dict]:
+        """Pipeline a batch of ``{"op": ..., ...}`` requests.
+
+        All requests go out in one write; responses (matched by id, so
+        server-side reordering is fine) come back in request order.
+        Raises :class:`ServeError` if *any* request failed.
+        """
+        ids = []
+        out = bytearray()
+        for req in requests:
+            request_id = self._next_id
+            self._next_id += 1
+            params = {k: v for k, v in req.items() if k != "op"}
+            out += _encode_request(request_id, req["op"], params)
+            ids.append(request_id)
+        self._sock.sendall(bytes(out))
+        by_id: dict[object, dict] = {}
+        for _ in ids:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed connection mid-batch")
+            response_id, payload = decode_response(line)
+            by_id[response_id] = payload
+        results = []
+        for request_id in ids:
+            payload = by_id[request_id]
+            if "error" in payload:
+                raise ServeError(payload["error"])
+            results.append(payload["result"])
+        return results
+
+
+async def open_connection(
+    host: str, port: int
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Asyncio connection to the server (workload-generator plumbing)."""
+    return await asyncio.open_connection(host, port)

@@ -1,0 +1,274 @@
+"""Coalescing query engine over a published uncertain graph.
+
+The sequential oracles in :mod:`repro.uncertain.queries` cost ``worlds``
+BFS passes *per query*.  The engine answers the same queries from
+shared state, so a coalescing window of concurrent queries costs:
+
+* **one world batch** per distinct ``(seed, worlds)`` in the window
+  (usually one — almost all traffic uses the engine defaults), sampled
+  once and kept in a small LRU;
+* **one multi-source BFS pass** per distinct *source* in the window
+  (:func:`repro.uncertain.batch_queries.batch_distance_rows` over the
+  batch's disjoint-union CSR), with the resulting ``(W, n)`` distance
+  rows LRU-cached across windows;
+* **zero kernel work** for repeated ``(op, args)`` queries — a bounded
+  answer cache absorbs the hot pairs of a zipfian workload.
+
+Every cache layer is *exactness-preserving*: a cached answer is the
+same object the kernel would recompute, and the kernels are seed-pinned
+bit-for-bit to the sequential oracle (``tests/uncertain/
+test_batch_queries.py``), so coalescing never changes an answer — only
+how many queries share its cost.
+
+Thread-safety: one engine-wide lock serialises :meth:`execute`.  The
+server funnels all kernel work through a single executor thread anyway;
+the lock makes direct library use from threads safe too.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.serve.protocol import Query, wire_payload
+from repro.uncertain.batch_queries import (
+    batch_distance_rows,
+    distance_distribution_from_batch,
+    k_hop_reachable_size_from_batch,
+    k_nearest_neighbors_from_batch,
+    majority_distance_from_batch,
+    median_distance_from_batch,
+    reliability_from_batch,
+)
+from repro.uncertain.graph import UncertainGraph
+from repro.worlds.batch import WorldBatch
+
+__all__ = ["QueryEngine"]
+
+_QUERIES = _OBS.counter("serve.queries")
+_ERRORS = _OBS.counter("serve.errors")
+_ANSWER_HITS = _OBS.counter("serve.cache.answer_hits")
+_DIST_HITS = _OBS.counter("serve.cache.dist_hits")
+_BFS_PASSES = _OBS.counter("serve.bfs.passes")
+_BATCHES = _OBS.counter("serve.batches.sampled")
+_WINDOW = _OBS.histogram("serve.window.queries")
+
+
+class _LRU(OrderedDict):
+    """Tiny bounded LRU: plain OrderedDict plus an eviction cap."""
+
+    def __init__(self, cap: int):
+        super().__init__()
+        self.cap = cap
+
+    def get_touch(self, key):
+        if key not in self:
+            return None
+        self.move_to_end(key)
+        return self[key]
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.cap:
+            self.popitem(last=False)
+
+
+class QueryEngine:
+    """Answer degree/reliability/k-hop/distance/k-NN queries on a release.
+
+    Parameters
+    ----------
+    uncertain:
+        The published uncertain graph (e.g. from
+        :func:`repro.uncertain.io.read_uncertain_graph`).
+    worlds, seed:
+        Default Monte-Carlo sample size and seed for queries that do
+        not spell out their own — the Corollary-1 knob of the paper.
+    max_batches, max_dist_rows, max_answers:
+        LRU capacities: sampled world batches (keyed by
+        ``(seed, worlds)``), per-source distance-row matrices (keyed by
+        ``(seed, worlds, source)``), and finished answers (keyed by the
+        resolved :class:`~repro.serve.protocol.Query`).
+    """
+
+    def __init__(
+        self,
+        uncertain: UncertainGraph,
+        *,
+        worlds: int = 64,
+        seed: int = 0,
+        max_batches: int = 4,
+        max_dist_rows: int = 128,
+        max_answers: int = 65536,
+    ):
+        if worlds < 1:
+            raise ValueError(f"need at least one world, got {worlds}")
+        self.uncertain = uncertain
+        self.worlds = int(worlds)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._batches: _LRU = _LRU(max_batches)
+        self._dist_rows: _LRU = _LRU(max_dist_rows)
+        self._answers: _LRU = _LRU(max_answers)
+        # Deterministic aggregates the sampling layer never touches.
+        self._expected_degrees = uncertain.expected_degrees()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, queries: list[Query]) -> list[dict]:
+        """Answer a coalescing window of queries; one payload per query.
+
+        Payloads are ``{"result": <wire object>}`` or
+        ``{"error": <message>}`` in input order.  All sampling/BFS work
+        for the window is shared as described in the module docstring.
+        """
+        with self._lock:
+            return self._execute_locked(queries)
+
+    def execute_one(self, query: Query) -> dict:
+        """Single-query convenience wrapper around :meth:`execute`."""
+        return self.execute([query])[0]
+
+    def cache_stats(self) -> dict:
+        """Sizes of the three cache layers (for manifests/debugging)."""
+        return {
+            "batches": len(self._batches),
+            "dist_rows": len(self._dist_rows),
+            "answers": len(self._answers),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(self, query: Query) -> Query:
+        """Pin defaulted ``worlds``/``seed`` so equal work keys coalesce."""
+        if query.worlds is not None and query.seed is not None:
+            return query
+        return Query(
+            op=query.op,
+            source=query.source,
+            target=query.target,
+            k=query.k,
+            hops=query.hops,
+            max_hops=query.max_hops,
+            worlds=self.worlds if query.worlds is None else query.worlds,
+            seed=self.seed if query.seed is None else query.seed,
+        )
+
+    def _execute_locked(self, queries: list[Query]) -> list[dict]:
+        _QUERIES.add(len(queries))
+        _WINDOW.observe(len(queries))
+        payloads: list[dict | None] = [None] * len(queries)
+        # (batch_key, source) → list of (index, resolved query) still
+        # needing kernel work after the answer cache.
+        pending: dict[tuple, list[tuple[int, Query]]] = {}
+        for i, raw in enumerate(queries):
+            query = self._resolve(raw)
+            cached = self._answers.get_touch(query)
+            if cached is not None:
+                _ANSWER_HITS.add()
+                payloads[i] = cached
+                continue
+            try:
+                self._validate(query)
+            except ValueError as exc:
+                _ERRORS.add()
+                payloads[i] = {"error": str(exc)}
+                continue
+            if query.op == "degree":
+                value = float(self._expected_degrees[query.source])
+                payloads[i] = self._finish(query, value)
+                continue
+            key = ((query.seed, query.worlds), query.source)
+            pending.setdefault(key, []).append((i, query))
+
+        for (batch_key, source), group in pending.items():
+            batch = self._batch(batch_key)
+            dist = self._distance_rows(batch_key, batch, source)
+            for i, query in group:
+                try:
+                    payloads[i] = self._finish(
+                        query, self._answer(batch, dist, query)
+                    )
+                except ValueError as exc:
+                    _ERRORS.add()
+                    payloads[i] = {"error": str(exc)}
+        return payloads  # type: ignore[return-value]
+
+    def _validate(self, query: Query) -> None:
+        n = self.uncertain.num_vertices
+        for field in ("source", "target"):
+            v = getattr(query, field)
+            if v is not None and not 0 <= v < n:
+                raise ValueError(
+                    f"{field} {v} out of range for release with n={n}"
+                )
+        if query.op == "knn" and not 1 <= query.k < n:
+            raise ValueError(f"need 1 <= k < n={n}, got k={query.k}")
+        if query.op == "khop" and query.hops < 0:
+            raise ValueError(f"hops must be non-negative, got {query.hops}")
+
+    def _batch(self, batch_key: tuple[int, int]) -> WorldBatch:
+        batch = self._batches.get_touch(batch_key)
+        if batch is None:
+            seed, worlds = batch_key
+            batch = WorldBatch.sample(self.uncertain, worlds, seed=seed)
+            self._batches.put(batch_key, batch)
+            _BATCHES.add()
+        return batch
+
+    def _distance_rows(
+        self, batch_key: tuple[int, int], batch: WorldBatch, source: int
+    ) -> np.ndarray:
+        key = (*batch_key, source)
+        dist = self._dist_rows.get_touch(key)
+        if dist is None:
+            dist = batch_distance_rows(batch, source)
+            # Hop counts fit comfortably in int32; a (W, n) row matrix
+            # shrinks 2x in the cache without changing any comparison.
+            dist = dist.astype(np.int32, copy=False)
+            self._dist_rows.put(key, dist)
+            _BFS_PASSES.add()
+        else:
+            _DIST_HITS.add()
+        return dist
+
+    def _answer(self, batch: WorldBatch, dist: np.ndarray, query: Query):
+        if query.op == "reliability":
+            return reliability_from_batch(
+                batch,
+                query.source,
+                query.target,
+                max_hops=query.max_hops,
+                dist=dist,
+            )
+        if query.op == "khop":
+            return k_hop_reachable_size_from_batch(
+                batch, query.source, query.hops, dist=dist
+            )
+        if query.op == "distance":
+            distribution = distance_distribution_from_batch(
+                batch, query.source, query.target, dist=dist
+            )
+            median = median_distance_from_batch(
+                batch, query.source, query.target, dist=dist
+            )
+            majority = majority_distance_from_batch(
+                batch, query.source, query.target, dist=dist
+            )
+            return (distribution, median, majority)
+        if query.op == "knn":
+            return k_nearest_neighbors_from_batch(
+                batch, query.source, query.k, dist=dist
+            )
+        raise ValueError(f"unknown op {query.op!r}")  # pragma: no cover
+
+    def _finish(self, query: Query, answer) -> dict:
+        payload = {"result": wire_payload(query, answer)}
+        self._answers.put(query, payload)
+        return payload

@@ -1,0 +1,229 @@
+"""Asyncio TCP front end with batched query coalescing.
+
+Connection handling and kernel work are deliberately split:
+
+* each client connection gets a reader coroutine that parses line-JSON
+  requests (:func:`repro.serve.protocol.parse_request`) and enqueues
+  ``(query, future)`` pairs on one shared queue;
+* a single dispatcher coroutine drains the queue in **coalescing
+  windows**: after the first query arrives it keeps collecting for
+  ``window_ms`` (or until ``max_window`` queries), then hands the whole
+  window to :meth:`QueryEngine.execute` on an executor thread — NumPy
+  kernels release the GIL poorly from the event loop's perspective, so
+  keeping them off the loop keeps accept/read latency flat;
+* completed futures resolve back into per-connection writer order.
+
+Because the engine's caches make window cost ≈ (distinct sources) ×
+(one batched BFS) rather than (queries) × (worlds) BFS runs, throughput
+rises with concurrency instead of collapsing — the point of the batched
+kernels.  Coalescing changes *cost*, never answers (every payload is
+seed-pinned to the sequential oracle).
+
+Protocol errors on a connection (malformed JSON, unknown op) produce an
+error response for that line and keep the connection open; EOF or
+transport errors close it quietly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.obs.metrics import REGISTRY as _OBS
+from repro.serve.engine import QueryEngine
+from repro.serve.protocol import encode_response, parse_request
+
+__all__ = ["ObfuscationServer"]
+
+_CONNECTIONS = _OBS.counter("serve.connections")
+_PROTOCOL_ERRORS = _OBS.counter("serve.protocol_errors")
+
+#: requests larger than this are protocol errors, not memory pressure.
+_MAX_LINE_BYTES = 1 << 20
+
+
+class ObfuscationServer:
+    """Serve a :class:`QueryEngine` over TCP line-JSON.
+
+    Parameters
+    ----------
+    engine:
+        The loaded query engine.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    window_ms:
+        Coalescing window: how long the dispatcher keeps collecting
+        after the first query of a window arrives.  ``0`` still
+        coalesces whatever is already queued (zero added latency).
+    max_window:
+        Hard cap on queries per window.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_ms: float = 2.0,
+        max_window: int = 1024,
+    ):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.window_s = max(0.0, window_ms) / 1000.0
+        self.max_window = max(1, max_window)
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, start accepting, and launch the dispatcher."""
+        self._queue = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting and cancel the dispatcher."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Reader loop: parse lines, enqueue, respond *asynchronously*.
+
+        Each request gets its own responder task, so a client may
+        pipeline many requests on one connection and they all land in
+        the same coalescing window; responses are matched by ``id``
+        (write order may interleave, each line is written atomically
+        under ``write_lock``).
+        """
+        _CONNECTIONS.add()
+        write_lock = asyncio.Lock()
+        responders: set[asyncio.Task] = set()
+
+        async def respond(request_id, query) -> None:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            await self._queue.put((query, future))
+            payload = await future
+            async with write_lock:
+                writer.write(encode_response(request_id, payload))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line
+                    _PROTOCOL_ERRORS.add()
+                    async with write_lock:
+                        writer.write(
+                            encode_response(
+                                None, {"error": "request too large"}
+                            )
+                        )
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request_id, query = parse_request(line)
+                except ValueError as exc:
+                    _PROTOCOL_ERRORS.add()
+                    async with write_lock:
+                        writer.write(
+                            encode_response(None, {"error": str(exc)})
+                        )
+                        await writer.drain()
+                    continue
+                task = asyncio.create_task(respond(request_id, query))
+                responders.add(task)
+                task.add_done_callback(responders.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if responders:
+                with contextlib.suppress(
+                    ConnectionError, asyncio.CancelledError
+                ):
+                    await asyncio.gather(*responders, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    async def _drain_window(self) -> list[tuple]:
+        """Block for the first query, then coalesce for the window."""
+        assert self._queue is not None
+        first = await self._queue.get()
+        window = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.window_s
+        while len(window) < self.max_window:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                # Window expired: still sweep anything already queued —
+                # coalescing what exists costs no latency.
+                try:
+                    window.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                item = await asyncio.wait_for(self._queue.get(), remaining)
+            except asyncio.TimeoutError:
+                break
+            window.append(item)
+        return window
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            window = await self._drain_window()
+            queries = [query for query, _ in window]
+            try:
+                payloads = await loop.run_in_executor(
+                    None, self.engine.execute, queries
+                )
+            except Exception as exc:  # engine bug: fail the window, not the loop
+                payloads = [{"error": f"internal error: {exc}"}] * len(window)
+            for (_, future), payload in zip(window, payloads):
+                if not future.done():
+                    future.set_result(payload)

@@ -1,10 +1,21 @@
 """Uncertain-graph substrate: model, possible-world sampling, IO."""
 
+from repro.uncertain.batch_queries import (
+    batch_distance_rows,
+    distance_distribution_from_batch,
+    expected_reachable_set_size_from_batch,
+    k_hop_reachable_size_from_batch,
+    k_nearest_neighbors_from_batch,
+    majority_distance_from_batch,
+    median_distance_from_batch,
+    reliability_from_batch,
+)
 from repro.uncertain.graph import UncertainGraph
 from repro.uncertain.io import read_uncertain_graph, write_uncertain_graph
 from repro.uncertain.queries import (
     distance_distribution,
     expected_reachable_set_size,
+    k_hop_reachable_size,
     k_nearest_neighbors,
     majority_distance,
     median_distance,
@@ -20,6 +31,7 @@ __all__ = [
     "write_uncertain_graph",
     "reliability",
     "expected_reachable_set_size",
+    "k_hop_reachable_size",
     "distance_distribution",
     "median_distance",
     "majority_distance",

@@ -1,0 +1,238 @@
+"""Batched query kernels over :class:`~repro.worlds.batch.WorldBatch`.
+
+The sequential oracles in :mod:`repro.uncertain.queries` draw one world
+at a time and BFS it — clear, but a serving layer answering many
+concurrent per-pair queries cannot afford ``worlds`` Python-level BFS
+passes *per request*.  These kernels produce bit-identical answers from
+one shared :class:`WorldBatch`:
+
+* sampling: ``WorldBatch.sample(ug, W, seed)`` consumes the RNG stream
+  exactly like ``W`` sequential :meth:`WorldSampler.sample` calls from
+  the same seed (pinned by the worlds tests), so batch row ``w`` *is*
+  the ``w``-th sequential world;
+* traversal: :func:`batch_distance_rows` runs ONE multi-root frontier
+  BFS over the batch's ``W·n``-vertex disjoint-union CSR, with roots
+  ``{w·n + source}`` — worlds are disjoint components, so the per-world
+  rows equal ``bfs_distances(world_w, source)`` exactly (hop counts are
+  integers: no tolerance needed);
+* aggregation: reliability / k-hop / distance-distribution / k-NN
+  reduce those integer rows with the same arithmetic as the oracles
+  (same integer hit counts divided by the same ``worlds``), so equal
+  seeds give equal floats bit-for-bit.
+
+This is what the serving layer coalesces on: every query in a window
+that shares ``(seed, worlds)`` shares one batch, every query that also
+shares a source shares one distance-row computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.traversal import multi_range
+from repro.uncertain.queries import (
+    majority_from_distribution,
+    rank_knn_appearances,
+)
+from repro.utils.validation import check_vertex
+from repro.worlds.batch import WorldBatch
+
+__all__ = [
+    "batch_distance_rows",
+    "distance_distribution_from_batch",
+    "expected_reachable_set_size_from_batch",
+    "k_hop_reachable_size_from_batch",
+    "k_nearest_neighbors_from_batch",
+    "majority_distance_from_batch",
+    "median_distance_from_batch",
+    "reliability_from_batch",
+]
+
+
+def batch_distance_rows(batch: WorldBatch, source: int) -> np.ndarray:
+    """Per-world hop distances from ``source``: a ``(W, n)`` int64 matrix.
+
+    One frontier BFS over the disjoint-union CSR with all ``W`` copies
+    of ``source`` as simultaneous roots.  Because worlds occupy
+    disjoint vertex ranges, levels advance exactly as ``W`` independent
+    BFS runs; row ``w`` equals ``bfs_distances(batch.world_graph(w),
+    source)`` elementwise (``-1`` marks unreachable).
+    """
+    n = batch.num_vertices
+    W = batch.num_worlds
+    source = check_vertex(source, n, "source")
+    indptr, indices = batch.csr()
+    dist = np.full(W * n, -1, dtype=np.int64)
+    roots = np.arange(W, dtype=np.int64) * n + source
+    dist[roots] = 0
+    frontier = roots
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        nbrs = indices[multi_range(starts, counts)]
+        if nbrs.size == 0:
+            break
+        fresh = nbrs[dist[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = np.unique(fresh)
+    return dist.reshape(W, n)
+
+
+def reliability_from_batch(
+    batch: WorldBatch,
+    source: int,
+    target: int,
+    *,
+    max_hops: int | None = None,
+    dist: np.ndarray | None = None,
+) -> float:
+    """Batched :func:`repro.uncertain.queries.reliability`.
+
+    ``dist`` may pass precomputed :func:`batch_distance_rows` output to
+    share one BFS across many queries (the serving layer's coalescing
+    path).  ``source == target`` returns 1.0 like the oracle, without
+    touching the batch.
+    """
+    n = batch.num_vertices
+    source = check_vertex(source, n, "source")
+    target = check_vertex(target, n, "target")
+    if source == target:
+        return 1.0
+    if dist is None:
+        dist = batch_distance_rows(batch, source)
+    d = dist[:, target]
+    reachable = d >= 0
+    if max_hops is not None:
+        reachable = reachable & (d <= max_hops)
+    return int(reachable.sum()) / batch.num_worlds
+
+
+def k_hop_reachable_size_from_batch(
+    batch: WorldBatch,
+    source: int,
+    hops: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> float:
+    """Batched :func:`repro.uncertain.queries.k_hop_reachable_size`."""
+    source = check_vertex(source, batch.num_vertices, "source")
+    if hops < 0:
+        raise ValueError(f"hops must be non-negative, got {hops}")
+    if dist is None:
+        dist = batch_distance_rows(batch, source)
+    total = int(((dist >= 0) & (dist <= hops)).sum())
+    return total / batch.num_worlds
+
+
+def expected_reachable_set_size_from_batch(
+    batch: WorldBatch,
+    source: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> float:
+    """Batched :func:`repro.uncertain.queries.expected_reachable_set_size`."""
+    source = check_vertex(source, batch.num_vertices, "source")
+    if dist is None:
+        dist = batch_distance_rows(batch, source)
+    return int((dist >= 0).sum()) / batch.num_worlds
+
+
+def distance_distribution_from_batch(
+    batch: WorldBatch,
+    source: int,
+    target: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> dict[int | float, float]:
+    """Batched :func:`repro.uncertain.queries.distance_distribution`.
+
+    Same mapping as the oracle: ``distance → probability`` with
+    ``float('inf')`` collecting disconnected worlds.
+    """
+    n = batch.num_vertices
+    source = check_vertex(source, n, "source")
+    target = check_vertex(target, n, "target")
+    if dist is None:
+        dist = batch_distance_rows(batch, source)
+    d = dist[:, target]
+    values, counts = np.unique(d, return_counts=True)
+    W = batch.num_worlds
+    return {
+        (float("inf") if v < 0 else int(v)): int(c) / W
+        for v, c in zip(values.tolist(), counts.tolist())
+    }
+
+
+def median_distance_from_batch(
+    batch: WorldBatch,
+    source: int,
+    target: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> float:
+    """Batched :func:`repro.uncertain.queries.median_distance`."""
+    distribution = distance_distribution_from_batch(
+        batch, source, target, dist=dist
+    )
+    cumulative = 0.0
+    for key in sorted(distribution, key=lambda x: (x == float("inf"), x)):
+        cumulative += distribution[key]
+        if cumulative >= 0.5:
+            return float(key)
+    return float("inf")
+
+
+def majority_distance_from_batch(
+    batch: WorldBatch,
+    source: int,
+    target: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> float:
+    """Batched :func:`repro.uncertain.queries.majority_distance`."""
+    distribution = distance_distribution_from_batch(
+        batch, source, target, dist=dist
+    )
+    return majority_from_distribution(distribution)
+
+
+def k_nearest_neighbors_from_batch(
+    batch: WorldBatch,
+    source: int,
+    k: int,
+    *,
+    dist: np.ndarray | None = None,
+) -> list[tuple[int, float]]:
+    """Batched :func:`repro.uncertain.queries.k_nearest_neighbors`.
+
+    Vectorises the per-world "k closest, ties by vertex id" selection:
+    within each world, vertices are ordered by ``(distance, id)`` via
+    one lexsort over the ``(W, n)`` distance matrix, and the first
+    ``k`` reachable entries per world increment the appearance counts.
+    The final ranking (and the zero-support drop) is shared with the
+    oracle via :func:`~repro.uncertain.queries.rank_knn_appearances`.
+    """
+    n = batch.num_vertices
+    W = batch.num_worlds
+    source = check_vertex(source, n, "source")
+    if k < 1 or k >= n:
+        raise ValueError(f"need 1 <= k < n, got k={k}")
+    if dist is None:
+        dist = batch_distance_rows(batch, source)
+    # Exclude unreachable (-1) and the source itself (0) like the
+    # oracle's ``dist > 0`` mask: give them a +inf-like sort key.  The
+    # sentinel must match the caller's dtype (the serving layer caches
+    # rows as int32) or it would wrap on conversion.
+    big = np.iinfo(dist.dtype).max
+    keyed = np.where(dist > 0, dist, big)
+    # Per-row argsort by (distance, vertex id): np.argsort is stable
+    # for kind="stable", and ties already break by column index.
+    order = np.argsort(keyed, axis=1, kind="stable")[:, :k]
+    picked_dist = np.take_along_axis(keyed, order, axis=1)
+    valid = picked_dist < big
+    appearances = np.bincount(order[valid].ravel(), minlength=n)
+    return rank_knn_appearances(appearances, k, W)

@@ -26,9 +26,20 @@ def write_uncertain_graph(graph: UncertainGraph, path: str | os.PathLike) -> Non
 def read_uncertain_graph(
     path: str | os.PathLike, *, n: int | None = None
 ) -> UncertainGraph:
-    """Read a file written by :func:`write_uncertain_graph`."""
+    """Read a file written by :func:`write_uncertain_graph`.
+
+    The header is *checked*, not just parsed: a ``candidates=`` count
+    that disagrees with the number of ``u v p`` lines (a truncated or
+    concatenated release) and vertex ids at or above the header ``n``
+    (a corrupted release, even when the caller supplies a larger ``n``)
+    both raise ``ValueError`` instead of loading silently as a
+    different graph.  Headerless files (no ``n=``/``candidates=``)
+    remain accepted for interoperability, with ``n`` inferred from the
+    largest id.
+    """
     triples: list[tuple[int, int, float]] = []
     header_n: int | None = None
+    header_candidates: int | None = None
     max_id = -1
     with open(path, encoding="utf-8") as fh:
         for line in fh:
@@ -39,6 +50,8 @@ def read_uncertain_graph(
                 for token in line[1:].replace(",", " ").split():
                     if token.startswith("n="):
                         header_n = int(token[2:])
+                    elif token.startswith("candidates="):
+                        header_candidates = int(token[11:])
                 continue
             parts = line.split()
             if len(parts) < 3:
@@ -46,6 +59,17 @@ def read_uncertain_graph(
             u, v, p = int(parts[0]), int(parts[1]), float(parts[2])
             triples.append((u, v, p))
             max_id = max(max_id, u, v)
+    if header_candidates is not None and header_candidates != len(triples):
+        raise ValueError(
+            f"{os.fspath(path)}: header declares candidates="
+            f"{header_candidates} but file holds {len(triples)} pair lines "
+            "(truncated or corrupted release)"
+        )
+    if header_n is not None and max_id >= header_n:
+        raise ValueError(
+            f"{os.fspath(path)}: vertex id {max_id} out of range for "
+            f"header n={header_n} (corrupted release)"
+        )
     if n is None:
         n = header_n if header_n is not None else max_id + 1
     return UncertainGraph.from_pairs(n, triples)

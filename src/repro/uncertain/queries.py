@@ -164,11 +164,31 @@ def majority_distance(
     worlds: int = 200,
     seed=None,
 ) -> float:
-    """Mode of the pairwise distance distribution."""
+    """Mode of the pairwise distance distribution.
+
+    Probability ties break toward the *smaller* distance (``inf`` loses
+    to any finite distance) — a canonical rule shared with the batched
+    kernel so both paths return the identical mode.
+    """
     dist = distance_distribution(
         uncertain, source, target, worlds=worlds, seed=seed
     )
-    return float(max(dist, key=lambda k: dist[k]))
+    return majority_from_distribution(dist)
+
+
+def majority_from_distribution(distribution: dict[int | float, float]) -> float:
+    """Mode of a ``distance → probability`` mapping, ties to the smaller
+    distance (``inf`` last).  Shared by the sequential oracle and
+    :func:`repro.uncertain.batch_queries.majority_distance_from_batch` so
+    the tie-break never depends on dict insertion order.
+    """
+    peak = max(distribution.values())
+    return float(
+        min(
+            (d for d, p in distribution.items() if p == peak),
+            key=lambda x: (x == float("inf"), x),
+        )
+    )
 
 
 def k_nearest_neighbors(
@@ -182,9 +202,15 @@ def k_nearest_neighbors(
     """Majority-k-NN of Potamias et al. [24]: rank vertices by the
     fraction of worlds in which they are among the k closest to source.
 
-    Returns the top-k vertices as ``(vertex, support)`` pairs, where
-    support is that fraction.  Ties inside a world are broken by vertex
-    id (deterministic).
+    Returns **at most** k vertices as ``(vertex, support)`` pairs,
+    where support is that fraction.  Only vertices with *positive*
+    support appear: when fewer than k vertices are ever reachable from
+    the source, the list is shorter than k rather than padded with
+    zero-support vertices (the old padding made "never seen" — often
+    including the source itself — indistinguishable from "weakly
+    supported").  Ties inside a world are broken by vertex id
+    (deterministic); the final ranking breaks support ties by vertex id
+    as well.
     """
     n = uncertain.num_vertices
     source = check_vertex(source, n, "source")
@@ -203,5 +229,55 @@ def k_nearest_neighbors(
             continue
         order = reachable[np.lexsort((reachable, dist[reachable]))]
         appearances[order[:k]] += 1
+    return rank_knn_appearances(appearances, k, worlds)
+
+
+def rank_knn_appearances(
+    appearances: np.ndarray, k: int, worlds: int
+) -> list[tuple[int, float]]:
+    """Top-k ``(vertex, support)`` from a per-vertex appearance count.
+
+    Shared by the sequential oracle above and the batched kernel
+    (:func:`repro.uncertain.batch_queries.k_nearest_neighbors_from_batch`)
+    so both apply the identical ranking, tie-break, and zero-support
+    drop.
+    """
+    n = len(appearances)
     ranked = np.lexsort((np.arange(n), -appearances))
-    return [(int(v), appearances[v] / worlds) for v in ranked[:k]]
+    return [
+        (int(v), appearances[v] / worlds)
+        for v in ranked[:k]
+        if appearances[v] > 0
+    ]
+
+
+def k_hop_reachable_size(
+    uncertain: UncertainGraph,
+    source: int,
+    hops: int,
+    *,
+    worlds: int = 200,
+    seed=None,
+) -> float:
+    """Expected number of vertices within ``hops`` of ``source``.
+
+    The k-hop workload of the uncertain-graph serving literature: a
+    hop-bounded :func:`expected_reachable_set_size` (to which it is
+    equal for ``hops >= n``), counting the source itself.  Same
+    Monte-Carlo contract as every estimator here — [0, n]-bounded
+    per-world values, so Lemma 2 applies after rescaling.
+    """
+    n = uncertain.num_vertices
+    source = check_vertex(source, n, "source")
+    if hops < 0:
+        raise ValueError(f"hops must be non-negative, got {hops}")
+    if worlds < 1:
+        raise ValueError(f"need at least one world, got {worlds}")
+    rng = as_rng(seed)
+    sampler = WorldSampler(uncertain)
+    total = 0
+    for _ in range(worlds):
+        world = sampler.sample(seed=rng)
+        dist = bfs_distances(world, source)
+        total += int(((dist >= 0) & (dist <= hops)).sum())
+    return total / worlds

@@ -192,10 +192,17 @@ class BatchStatisticsEngine:
         statistic forced materialisation anyway.
 
         Large batches are evaluated in world slices (worlds never
-        interact, so slicing is value-preserving) sized so the ANF
-        register stack stays cache-resident — on big graphs one huge
-        stacked diffusion is memory-bandwidth-bound and measurably
-        slower than a handful of L2-sized ones.  ``chunk_size``
+        interact, so slicing is value-preserving).  The automatic slice
+        size is derived from the statistics actually requested: when a
+        stacked ANF diffusion will run (``"anf"`` backend and at least
+        one distance statistic on the kernel path), slices are sized so
+        the ``(W·n, 2^b)`` register stack stays cache-resident — on big
+        graphs one huge stacked diffusion is memory-bandwidth-bound and
+        measurably slower than a handful of L2-sized ones.  Otherwise
+        (degree/triangle kernels only, or the exact/sampled BFS
+        backends) the register stack never exists, so the bound comes
+        from the transient unpacked keep matrix instead — large ``n``
+        no longer forces needless tiny slices.  ``chunk_size``
         overrides the automatic bound; results are identical for every
         chunking.
         """
@@ -203,10 +210,22 @@ class BatchStatisticsEngine:
             names = list(self._statistics)
         W = batch.num_worlds
         if chunk_size is None:
-            # keep each slice's (W·n, 2^b) register stack around ~2 MB
-            chunk_size = max(
-                1, (2 << 20) // max(batch.num_vertices << self._anf_b, 1)
+            runs_anf_kernel = (
+                self._use_kernels
+                and self._backend == "anf"
+                and any(name in DISTANCE_STATISTIC_NAMES for name in names)
             )
+            if runs_anf_kernel:
+                # keep each slice's (W·n, 2^b) register stack around ~2 MB
+                chunk_size = max(
+                    1, (2 << 20) // max(batch.num_vertices << self._anf_b, 1)
+                )
+            else:
+                # bound the per-slice unpacked keep matrix (W × m bools)
+                # to ~32 MB — the only W-proportional transient left
+                chunk_size = max(
+                    1, (32 << 20) // max(batch.num_candidate_pairs, 1)
+                )
         _EVAL_WORLDS.add(W)
         if W > chunk_size:
             with span("worlds.evaluate", worlds=W, chunk_size=chunk_size):

@@ -1,0 +1,73 @@
+"""Concurrent searches must keep their run counters scoped per call.
+
+Regression for the global-registry-delta bug: ``ObfuscationResult``
+counters (``edges_processed``, ``rows_folded``, ``rows_recomputed``)
+used to be computed as before/after deltas of the process-wide
+:mod:`repro.obs` registry, so two interleaved searches each absorbed
+the other's totals.  The counters now accumulate from each probe's
+``GenerationOutcome`` inside the call, so a threaded run must report
+exactly what a solo run of the same seed reports.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.search import obfuscate
+from repro.graphs import erdos_renyi
+
+
+def _run(graph, seed):
+    return obfuscate(
+        graph, k=3, eps=0.2, seed=seed, attempts=2, delta=0.05
+    )
+
+
+class TestThreadedCounterScoping:
+    def test_two_concurrent_searches_do_not_share_counters(self):
+        # Different graph sizes => different per-search totals, so
+        # cross-absorption cannot cancel out.
+        g_small = erdos_renyi(40, 0.2, seed=1)
+        g_large = erdos_renyi(90, 0.12, seed=2)
+
+        solo_small = _run(g_small, seed=7)
+        solo_large = _run(g_large, seed=9)
+        assert (solo_small.rows_folded, solo_small.rows_recomputed) != (
+            solo_large.rows_folded,
+            solo_large.rows_recomputed,
+        )
+
+        results: dict[str, object] = {}
+        barrier = threading.Barrier(2)
+
+        def work(name, graph, seed):
+            barrier.wait()  # maximise interleaving
+            results[name] = _run(graph, seed)
+
+        threads = [
+            threading.Thread(target=work, args=("small", g_small, 7)),
+            threading.Thread(target=work, args=("large", g_large, 9)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for solo, name in ((solo_small, "small"), (solo_large, "large")):
+            threaded = results[name]
+            assert threaded.edges_processed == solo.edges_processed
+            assert threaded.rows_folded == solo.rows_folded
+            assert threaded.rows_recomputed == solo.rows_recomputed
+            assert threaded.sigma == solo.sigma
+
+    def test_interleaved_sequential_searches_stay_scoped(self):
+        """Same property without threads: a second search between a
+        first search's construction and result must not leak in (guards
+        the accumulator against registry reads sneaking back)."""
+        g = erdos_renyi(40, 0.2, seed=1)
+        first = _run(g, seed=7)
+        _run(erdos_renyi(90, 0.12, seed=2), seed=9)
+        again = _run(g, seed=7)
+        assert again.edges_processed == first.edges_processed
+        assert again.rows_folded == first.rows_folded
+        assert again.rows_recomputed == first.rows_recomputed

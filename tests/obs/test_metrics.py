@@ -115,3 +115,152 @@ def test_module_level_helpers_hit_the_global_registry():
     assert metrics_snapshot()["test.helper"] == 7
     reset_metrics()
     assert metrics_snapshot()["test.helper"] == 0
+
+
+class TestPercentileHistogram:
+    def test_bucketed_percentiles(self):
+        h = Histogram("lat", buckets=[1.0, 2.0, 4.0, 8.0])
+        for v in (0.5, 1.5, 1.5, 3.0, 7.0, 7.0, 7.0, 7.0, 7.0, 7.0):
+            h.observe(v)
+        # 10 observations: p50 rank 5 lands in the (4, 8] bucket's
+        # cumulative range only at p>=0.5? cumulative: 1, 3, 4, 10.
+        assert h.percentile(0.10) == 1.0
+        assert h.percentile(0.30) == 2.0
+        assert h.percentile(0.40) == 4.0
+        assert h.percentile(0.99) == 7.0  # capped at observed max
+        assert h.percentile(1.00) == 7.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("lat", buckets=[1.0])
+        h.observe(5.0)
+        h.observe(9.0)
+        assert h.percentile(0.99) == 9.0
+
+    def test_empty_or_bucket_free_percentile_is_nan(self):
+        assert math.isnan(Histogram("x", buckets=[1.0]).percentile(0.5))
+        assert math.isnan(Histogram("x").percentile(0.5))
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError, match="q must be"):
+            Histogram("x", buckets=[1.0]).percentile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("x", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("x", buckets=[])
+
+    def test_snapshot_includes_percentiles_only_when_bucketed(self):
+        h = Histogram("lat", buckets=[1.0, 10.0])
+        h.observe(0.5)
+        snap = h._snapshot()
+        assert snap["p50"] == 0.5 and snap["p99"] == 0.5  # clamped to max
+        plain = Histogram("plain")
+        plain.observe(0.5)
+        assert "p50" not in plain._snapshot()
+
+    def test_observe_many_fills_buckets(self):
+        bulk, loop = (
+            Histogram("bulk", buckets=[1.0, 2.0]),
+            Histogram("loop", buckets=[1.0, 2.0]),
+        )
+        values = [0.5, 1.5, 9.0]
+        bulk.observe_many(values)
+        for v in values:
+            loop.observe(v)
+        assert bulk.bucket_counts == loop.bucket_counts
+        assert bulk._snapshot() == loop._snapshot()
+
+    def test_reset_clears_buckets(self):
+        h = Histogram("lat", buckets=[1.0])
+        h.observe(0.5)
+        h._reset()
+        assert h.bucket_counts == [0, 0]
+        assert math.isnan(h.percentile(0.5))
+
+    def test_registry_memoises_and_rejects_conflicting_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[1.0, 2.0])
+        assert reg.histogram("lat") is h
+        assert reg.histogram("lat", buckets=[1.0, 2.0]) is h
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("lat", buckets=[3.0])
+        plain = reg.histogram("plain")
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("plain", buckets=[1.0])
+        assert plain.bucket_bounds is None
+
+
+class TestExponentialBuckets:
+    def test_geometric_spacing(self):
+        from repro.obs.metrics import exponential_buckets
+
+        b = exponential_buckets(1.0, 2.0, 4)
+        assert b == (1.0, 2.0, 4.0, 8.0)
+
+    def test_invalid_rejected(self):
+        from repro.obs.metrics import exponential_buckets
+
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 2.0, 0)
+
+
+class TestThreadSafety:
+    """Concurrent mutation must not drop increments (serve handlers)."""
+
+    def test_concurrent_counter_adds_are_not_lost(self):
+        import threading
+
+        c = Counter("x")
+        n, per = 4, 25_000
+
+        def work():
+            for _ in range(per):
+                c.add(1)
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per
+
+    def test_concurrent_histogram_observes_are_not_lost(self):
+        import threading
+
+        h = Histogram("x", buckets=[0.5, 1.5])
+        n, per = 4, 10_000
+
+        def work():
+            for _ in range(per):
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == n * per
+        assert h.bucket_counts == [0, n * per, 0]
+
+    def test_concurrent_registration_yields_one_handle(self):
+        import threading
+
+        reg = MetricsRegistry()
+        handles = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            handles.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(h is handles[0] for h in handles)

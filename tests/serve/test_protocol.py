@@ -1,0 +1,103 @@
+"""Wire-protocol unit tests: parse, encode, round-trip."""
+
+import json
+import math
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    Query,
+    decode_response,
+    encode_response,
+    parse_request,
+    wire_payload,
+)
+
+
+class TestParseRequest:
+    def test_minimal_reliability(self):
+        rid, q = parse_request(
+            '{"id": 3, "op": "reliability", "source": 1, "target": 2}'
+        )
+        assert rid == 3
+        assert q == Query(op="reliability", source=1, target=2)
+
+    def test_all_fields(self):
+        _, q = parse_request(
+            json.dumps(
+                {
+                    "op": "reliability",
+                    "source": 0,
+                    "target": 5,
+                    "max_hops": 3,
+                    "worlds": 32,
+                    "seed": 9,
+                }
+            )
+        )
+        assert q.max_hops == 3 and q.worlds == 32 and q.seed == 9
+
+    def test_every_op_parses(self):
+        samples = {
+            "degree": {"source": 1},
+            "reliability": {"source": 1, "target": 2},
+            "khop": {"source": 1, "hops": 2},
+            "distance": {"source": 1, "target": 2},
+            "knn": {"source": 1, "k": 3},
+        }
+        assert set(samples) == set(OPS)
+        for op, fields in samples.items():
+            _, q = parse_request(json.dumps({"op": op, **fields}))
+            assert q.op == op
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"op": "nope", "source": 1}',
+            '{"op": "reliability", "source": 1}',
+            '{"op": "reliability", "source": "a", "target": 2}',
+            '{"op": "reliability", "source": true, "target": 2}',
+            '{"op": "khop", "source": 1, "hops": -1}',
+            '{"op": "knn", "source": 1, "k": 0}',
+            '{"op": "degree", "source": 1, "worlds": 0}',
+        ],
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ValueError):
+            parse_request(line)
+
+
+class TestResponses:
+    def test_ok_round_trip(self):
+        line = encode_response(11, {"result": {"value": 0.5}})
+        rid, payload = decode_response(line)
+        assert rid == 11 and payload == {"result": {"value": 0.5}}
+
+    def test_error_round_trip(self):
+        line = encode_response("x", {"error": "boom"})
+        rid, payload = decode_response(line)
+        assert rid == "x" and payload == {"error": "boom"}
+
+    def test_every_line_is_strict_json(self):
+        payload = {
+            "result": wire_payload(
+                Query(op="distance", source=0, target=1),
+                ({2: 0.25, float("inf"): 0.75}, float("inf"), float("inf")),
+            )
+        }
+        line = encode_response(1, payload)
+        obj = json.loads(line, parse_constant=lambda _: pytest.fail("non-strict JSON"))
+        assert obj["result"]["distribution"] == {"2": 0.25, "inf": 0.75}
+        assert obj["result"]["median"] == "inf"
+
+    def test_distance_distribution_sorted_finite_first(self):
+        payload = wire_payload(
+            Query(op="distance", source=0, target=1),
+            ({float("inf"): 0.5, 3: 0.25, 1: 0.25}, 3.0, 1.0),
+        )
+        assert list(payload["distribution"]) == ["1", "3", "inf"]
+        assert payload["median"] == 3.0 and payload["majority"] == 1.0
+        assert not math.isinf(payload["median"])

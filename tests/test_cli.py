@@ -224,3 +224,43 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    def test_requires_release(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serves_release_over_tcp(self, release_file):
+        """Start the server machinery the CLI builds and query it."""
+        import asyncio
+        import threading
+
+        from repro.serve import ObfuscationServer, QueryEngine, ServeClient
+        from repro.uncertain import reliability
+
+        release = read_uncertain_graph(release_file)
+        engine = QueryEngine(release, worlds=16, seed=4)
+        server = ObfuscationServer(engine, port=0, window_ms=1.0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            with ServeClient(server.host, server.port) as client:
+                value = client.request("reliability", source=0, target=5)
+            assert value["value"] == reliability(
+                release, 0, 5, worlds=16, seed=4
+            )
+        finally:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)

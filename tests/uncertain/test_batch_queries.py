@@ -1,0 +1,196 @@
+"""Seed-equivalence suite: batched kernels vs the sequential oracle.
+
+Every function in :mod:`repro.uncertain.batch_queries` must reproduce
+its :mod:`repro.uncertain.queries` counterpart *bit-for-bit* at equal
+``(seed, worlds)`` — this is the contract the serving layer's
+coalescing correctness rests on, so the assertions here use ``==`` on
+floats, not tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import dblp_like
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.traversal import bfs_distances
+from repro.core.search import obfuscate
+from repro.uncertain import (
+    UncertainGraph,
+    batch_distance_rows,
+    distance_distribution,
+    distance_distribution_from_batch,
+    expected_reachable_set_size,
+    expected_reachable_set_size_from_batch,
+    k_hop_reachable_size,
+    k_hop_reachable_size_from_batch,
+    k_nearest_neighbors,
+    k_nearest_neighbors_from_batch,
+    majority_distance,
+    majority_distance_from_batch,
+    median_distance,
+    median_distance_from_batch,
+    reliability,
+    reliability_from_batch,
+)
+from repro.worlds.batch import WorldBatch
+
+WORLDS = 64
+SEED = 20120807
+
+
+@pytest.fixture(scope="module")
+def obfuscated():
+    graph = erdos_renyi(60, 0.1, seed=7)
+    result = obfuscate(graph, k=3, eps=0.25, seed=11, attempts=2, delta=0.05)
+    return result.uncertain
+
+
+@pytest.fixture(scope="module")
+def batch(obfuscated):
+    return WorldBatch.sample(obfuscated, WORLDS, seed=SEED)
+
+
+class TestDistanceRows:
+    def test_rows_match_per_world_bfs(self, obfuscated, batch):
+        dist = batch_distance_rows(batch, 0)
+        assert dist.shape == (WORLDS, obfuscated.num_vertices)
+        for w in (0, 1, WORLDS // 2, WORLDS - 1):
+            expected = bfs_distances(batch.world_graph(w), 0)
+            np.testing.assert_array_equal(dist[w], expected)
+
+    def test_source_row_zero(self, batch):
+        dist = batch_distance_rows(batch, 5)
+        assert (dist[:, 5] == 0).all()
+
+    def test_bad_source_rejected(self, batch):
+        with pytest.raises(ValueError):
+            batch_distance_rows(batch, batch.num_vertices)
+
+
+class TestSeedEquivalence:
+    """Batched answer == sequential oracle answer, exactly."""
+
+    PAIRS = [(0, 1), (3, 17), (10, 42), (2, 59)]
+
+    def test_reliability(self, obfuscated, batch):
+        for s, t in self.PAIRS:
+            oracle = reliability(obfuscated, s, t, worlds=WORLDS, seed=SEED)
+            batched = reliability_from_batch(batch, s, t)
+            assert batched == oracle
+
+    def test_reliability_hop_constrained(self, obfuscated, batch):
+        for max_hops in (1, 2, 4):
+            oracle = reliability(
+                obfuscated, 0, 30, worlds=WORLDS, max_hops=max_hops, seed=SEED
+            )
+            batched = reliability_from_batch(batch, 0, 30, max_hops=max_hops)
+            assert batched == oracle
+
+    def test_reliability_same_vertex(self, batch):
+        assert reliability_from_batch(batch, 4, 4) == 1.0
+
+    def test_k_hop_reachable_size(self, obfuscated, batch):
+        for hops in (0, 1, 2, 5):
+            oracle = k_hop_reachable_size(
+                obfuscated, 7, hops, worlds=WORLDS, seed=SEED
+            )
+            batched = k_hop_reachable_size_from_batch(batch, 7, hops)
+            assert batched == oracle
+
+    def test_expected_reachable_set_size(self, obfuscated, batch):
+        oracle = expected_reachable_set_size(
+            obfuscated, 12, worlds=WORLDS, seed=SEED
+        )
+        batched = expected_reachable_set_size_from_batch(batch, 12)
+        assert batched == oracle
+
+    def test_distance_distribution(self, obfuscated, batch):
+        for s, t in self.PAIRS:
+            oracle = distance_distribution(
+                obfuscated, s, t, worlds=WORLDS, seed=SEED
+            )
+            batched = distance_distribution_from_batch(batch, s, t)
+            assert batched == oracle
+
+    def test_median_distance(self, obfuscated, batch):
+        for s, t in self.PAIRS:
+            oracle = median_distance(obfuscated, s, t, worlds=WORLDS, seed=SEED)
+            batched = median_distance_from_batch(batch, s, t)
+            assert batched == oracle or (
+                np.isinf(oracle) and np.isinf(batched)
+            )
+
+    def test_majority_distance(self, obfuscated, batch):
+        for s, t in self.PAIRS:
+            oracle = majority_distance(
+                obfuscated, s, t, worlds=WORLDS, seed=SEED
+            )
+            batched = majority_distance_from_batch(batch, s, t)
+            assert batched == oracle or (
+                np.isinf(oracle) and np.isinf(batched)
+            )
+
+    def test_k_nearest_neighbors(self, obfuscated, batch):
+        for k in (1, 3, 8):
+            oracle = k_nearest_neighbors(
+                obfuscated, 9, k, worlds=WORLDS, seed=SEED
+            )
+            batched = k_nearest_neighbors_from_batch(batch, 9, k)
+            assert batched == oracle
+
+    def test_shared_dist_rows_identical(self, batch):
+        """Precomputed rows (the coalescing path) change nothing."""
+        dist = batch_distance_rows(batch, 3)
+        assert reliability_from_batch(
+            batch, 3, 17, dist=dist
+        ) == reliability_from_batch(batch, 3, 17)
+        assert k_nearest_neighbors_from_batch(
+            batch, 3, 5, dist=dist
+        ) == k_nearest_neighbors_from_batch(batch, 3, 5)
+        assert distance_distribution_from_batch(
+            batch, 3, 17, dist=dist
+        ) == distance_distribution_from_batch(batch, 3, 17)
+
+
+class TestSparseGraph:
+    """Disconnection-heavy case: many unreachable worlds and vertices."""
+
+    @pytest.fixture(scope="class")
+    def sparse(self):
+        pairs = [(0, 1, 0.3), (1, 2, 0.2), (3, 4, 0.1), (5, 6, 0.05)]
+        return UncertainGraph.from_pairs(8, pairs)
+
+    def test_all_queries_pin(self, sparse):
+        batch = WorldBatch.sample(sparse, 128, seed=99)
+        for s, t in [(0, 2), (0, 7), (3, 4), (5, 6)]:
+            assert reliability_from_batch(batch, s, t) == reliability(
+                sparse, s, t, worlds=128, seed=99
+            )
+            assert distance_distribution_from_batch(
+                batch, s, t
+            ) == distance_distribution(sparse, s, t, worlds=128, seed=99)
+        for s in (0, 7):
+            assert k_nearest_neighbors_from_batch(
+                batch, s, 3
+            ) == k_nearest_neighbors(sparse, s, 3, worlds=128, seed=99)
+
+    def test_isolated_source_knn_empty(self, sparse):
+        batch = WorldBatch.sample(sparse, 32, seed=5)
+        assert k_nearest_neighbors_from_batch(batch, 7, 3) == []
+
+
+class TestSurrogateScale:
+    """Spot-check on the surrogate release graph the server will load."""
+
+    def test_dblp_like_pinned(self):
+        graph = dblp_like(scale=0.25, seed=0)
+        result = obfuscate(graph, k=5, eps=0.3, seed=3, attempts=1, delta=0.1)
+        ug = result.uncertain
+        batch = WorldBatch.sample(ug, 32, seed=SEED)
+        s, t = 1, ug.num_vertices - 2
+        assert reliability_from_batch(batch, s, t) == reliability(
+            ug, s, t, worlds=32, seed=SEED
+        )
+        assert k_nearest_neighbors_from_batch(
+            batch, s, 10
+        ) == k_nearest_neighbors(ug, s, 10, worlds=32, seed=SEED)

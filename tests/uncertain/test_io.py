@@ -47,3 +47,51 @@ class TestReading:
         ug = read_uncertain_graph(path)
         assert ug.num_vertices == 4
         assert ug.probability(0, 3) == 0.25
+
+
+class TestHeaderValidation:
+    """Truncated / corrupted releases must not load silently."""
+
+    def _release_lines(self, tmp_path, fig1b):
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(fig1b, path)
+        return path, path.read_text().splitlines(keepends=True)
+
+    def test_truncated_file_rejected(self, tmp_path, fig1b):
+        path, lines = self._release_lines(tmp_path, fig1b)
+        assert len(lines) > 2
+        path.write_text("".join(lines[:-1]))  # drop the last pair line
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            read_uncertain_graph(path)
+
+    def test_extra_lines_rejected(self, tmp_path, fig1b):
+        path, lines = self._release_lines(tmp_path, fig1b)
+        path.write_text("".join(lines) + "0 1 0.125\n")
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            read_uncertain_graph(path)
+
+    def test_id_beyond_header_n_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# n=3 candidates=1\n0 7 0.5\n")
+        with pytest.raises(ValueError, match="out of range for header n=3"):
+            read_uncertain_graph(path)
+
+    def test_id_beyond_header_n_rejected_even_with_larger_explicit_n(
+        self, tmp_path
+    ):
+        """Explicit n (e.g. repro verify) must not mask header violations."""
+        path = tmp_path / "bad.txt"
+        path.write_text("# n=3 candidates=1\n0 7 0.5\n")
+        with pytest.raises(ValueError, match="out of range for header"):
+            read_uncertain_graph(path, n=20)
+
+    def test_round_trip_still_validates_clean(self, tmp_path, fig1b):
+        path = tmp_path / "ug.txt"
+        write_uncertain_graph(fig1b, path)
+        back = read_uncertain_graph(path)
+        assert back.num_candidate_pairs == fig1b.num_candidate_pairs
+
+    def test_headerless_file_still_accepted(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 5 0.25\n")
+        assert read_uncertain_graph(path).num_vertices == 6

@@ -7,6 +7,7 @@ import pytest
 
 from repro.uncertain.graph import UncertainGraph
 from repro.uncertain.queries import (
+    k_hop_reachable_size,
     distance_distribution,
     expected_reachable_set_size,
     k_nearest_neighbors,
@@ -135,3 +136,38 @@ class TestKNearestNeighbors:
             k_nearest_neighbors(chain, 0, 0)
         with pytest.raises(ValueError):
             k_nearest_neighbors(chain, 0, 3)
+
+    def test_zero_support_vertices_dropped(self):
+        # Vertex 3 is isolated and vertex 0 is the source: neither can
+        # ever be among the k closest, so asking for k=3 returns only
+        # the two vertices with positive support (no zero-padding).
+        ug = UncertainGraph.from_pairs(4, [(0, 1, 1.0), (1, 2, 0.5)])
+        top = k_nearest_neighbors(ug, 0, 3, worlds=50, seed=0)
+        assert [v for v, _ in top] == [1, 2]
+        assert all(s > 0.0 for _, s in top)
+
+    def test_unreachable_source_returns_empty(self):
+        ug = UncertainGraph.from_pairs(3, [(1, 2, 1.0)])
+        assert k_nearest_neighbors(ug, 0, 2, worlds=20, seed=0) == []
+
+
+class TestKHopReachableSize:
+    def test_certain_chain(self):
+        ug = UncertainGraph.from_pairs(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+        )
+        assert k_hop_reachable_size(ug, 0, 0, worlds=5, seed=0) == 1.0
+        assert k_hop_reachable_size(ug, 0, 1, worlds=5, seed=0) == 2.0
+        assert k_hop_reachable_size(ug, 0, 3, worlds=5, seed=0) == 4.0
+
+    def test_large_hops_matches_reachable_set(self, chain):
+        full = expected_reachable_set_size(chain, 0, worlds=300, seed=3)
+        hopped = k_hop_reachable_size(chain, 0, chain.num_vertices,
+                                      worlds=300, seed=3)
+        assert hopped == full
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError, match="hops"):
+            k_hop_reachable_size(chain, 0, -1)
+        with pytest.raises(ValueError, match="world"):
+            k_hop_reachable_size(chain, 0, 1, worlds=0)

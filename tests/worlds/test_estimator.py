@@ -202,3 +202,66 @@ class TestFrontendWiring:
             WorldStatisticsEstimator(
                 denser_uncertain, {"S_NE": num_edges}, chunk_size=4
             )
+
+
+class TestAutoChunkBound:
+    """Auto chunk_size must track the statistics actually evaluated."""
+
+    @staticmethod
+    def _eval_chunks(engine, batch, names):
+        from repro.obs.metrics import REGISTRY, reset_metrics
+
+        reset_metrics()
+        engine.evaluate(batch, names)
+        return REGISTRY.get("worlds.eval.chunks")
+
+    @staticmethod
+    def _large_n_batch(worlds=4):
+        # n large enough that the old ANF register bound (2MB / (n<<6))
+        # forced 1-world slices; m stays tiny so the new keep-matrix
+        # bound does not chunk at all.
+        from repro.uncertain import UncertainGraph
+        from repro.worlds import WorldBatch
+
+        n = 20_000
+        us = np.arange(20, dtype=np.int64)
+        vs = us + 1
+        ug = UncertainGraph.from_arrays(
+            n, us, vs, np.full(20, 0.5, dtype=np.float64)
+        )
+        return WorldBatch.sample(ug, worlds, seed=0)
+
+    def test_degree_only_does_not_pay_anf_bound(self):
+        from repro.worlds.estimator import BatchStatisticsEngine
+
+        engine = BatchStatisticsEngine(distance_backend="anf")
+        batch = self._large_n_batch()
+        assert self._eval_chunks(engine, batch, ["S_NE", "S_AD"]) == 1
+
+    def test_sampled_backend_does_not_pay_anf_bound(self):
+        from repro.worlds.estimator import BatchStatisticsEngine
+
+        engine = BatchStatisticsEngine(
+            distance_backend="sampled", sample_size=4
+        )
+        batch = self._large_n_batch()
+        assert self._eval_chunks(engine, batch, ["S_APD"]) == 1
+
+    def test_anf_distance_still_pays_register_bound(self):
+        from repro.worlds.estimator import BatchStatisticsEngine
+
+        engine = BatchStatisticsEngine(distance_backend="anf")
+        batch = self._large_n_batch()
+        assert self._eval_chunks(engine, batch, ["S_APD"]) == batch.num_worlds
+
+    def test_values_identical_across_the_bound_change(self):
+        from repro.worlds.estimator import BatchStatisticsEngine
+
+        engine = BatchStatisticsEngine(
+            distance_backend="sampled", sample_size=4
+        )
+        batch = self._large_n_batch(worlds=3)
+        auto, _ = engine.evaluate(batch, ["S_NE", "S_APD"])
+        forced, _ = engine.evaluate(batch, ["S_NE", "S_APD"], chunk_size=1)
+        for name in auto:
+            np.testing.assert_array_equal(auto[name], forced[name])
