@@ -49,6 +49,11 @@ TOLERANCE = 1.15
 #: Tracing-enabled wall clock may be at worst 1.05x the disabled run.
 TRACE_OVERHEAD_BUDGET = 1.05
 
+#: Sharded world evaluation at 2 workers must beat serial by this factor
+#: on the smoke grid (skipped on single-core hosts, where the process
+#: backend cannot physically win).
+EXEC_SPEEDUP_FLOOR = 1.6
+
 #: (csv name, row-match predicate fields, ratio column) per pinned workload.
 GATES: list[tuple[str, dict[str, str], str]] = [
     ("worlds_speedup.csv", {"backend": "batched"}, "speedup"),
@@ -133,6 +138,93 @@ def trace_overhead(rounds: int = 5) -> int:
     return 0
 
 
+def exec_speedup(rounds: int = 3, workers: int = 2) -> int:
+    """Gate the process backend: sharded world evaluation must win.
+
+    Requires ``PYTHONPATH=src``.  The workload is the smoke grid's
+    heavy phase — evaluating the ten paper statistics over sampled
+    possible worlds of an obfuscated dblp surrogate — run serial and
+    through a ``workers``-process :class:`~repro.exec.ChunkExecutor`
+    (pool reused across rounds, so fork cost amortises as in real
+    drivers), interleaved best-of-N.  Fails when the serial/sharded
+    wall-clock ratio falls below :data:`EXEC_SPEEDUP_FLOOR`; also
+    asserts the two runs' per-world values are bit-identical, so a
+    "win" can never come from computing something else.
+
+    On a single-core host the gate *skips* (exit 0): two processes on
+    one core cannot beat serial, and a red gate there would only
+    report the machine shape, not a regression.
+    """
+    import os
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(
+            f"exec speedup gate SKIPPED: host has {cpus} CPU core(s); "
+            f"a {workers}-worker pool cannot outrun serial here"
+        )
+        return 0
+
+    import numpy as np
+
+    from repro.core.search import obfuscate
+    from repro.exec import ChunkExecutor
+    from repro.graphs.datasets import dblp_like
+    from repro.worlds.estimator import BatchedWorldStatisticsEstimator
+
+    graph = dblp_like(scale=0.15, seed=0)
+    release = obfuscate(graph, k=10, eps=0.1, seed=0, attempts=2, delta=0.05)
+    assert release.success
+    unc = release.uncertain
+    worlds, seed = 96, 7
+
+    def run(estimator):
+        return estimator.run(worlds=worlds, seed=seed)
+
+    serial = BatchedWorldStatisticsEstimator(unc, distance_seed=0)
+    with ChunkExecutor(backend="process", workers=workers) as ex:
+        sharded = BatchedWorldStatisticsEstimator(
+            unc, distance_seed=0, executor=ex
+        )
+        out_serial = run(serial)  # warm-up + reference values
+        out_sharded = run(sharded)  # warm-up: forks the pool
+        for name in out_serial:
+            if not np.array_equal(
+                out_serial[name].values, out_sharded[name].values
+            ):
+                print(
+                    f"exec speedup gate FAILED: sharded values diverge "
+                    f"from serial for {name!r}",
+                    file=sys.stderr,
+                )
+                return 1
+        best_serial = best_sharded = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            run(serial)
+            best_serial = min(best_serial, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run(sharded)
+            best_sharded = min(best_sharded, time.perf_counter() - t0)
+    ratio = best_serial / best_sharded
+    verdict = "ok" if ratio >= EXEC_SPEEDUP_FLOOR else "REGRESSION"
+    print(
+        f"{verdict:>10}  exec speedup: serial {best_serial * 1e3:.0f} ms vs "
+        f"{workers}-worker {best_sharded * 1e3:.0f} ms "
+        f"(ratio {ratio:.2f}, floor {EXEC_SPEEDUP_FLOOR:.2f}, "
+        f"{cpus} cores)"
+    )
+    if ratio < EXEC_SPEEDUP_FLOOR:
+        print(
+            f"exec speedup gate FAILED: {workers}-worker sharding wins only "
+            f"{ratio:.2f}x (< {EXEC_SPEEDUP_FLOOR:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nexec speedup gate passed (best of {rounds})")
+    return 0
+
+
 def main() -> int:
     failures: list[str] = []
     checked = 0
@@ -185,7 +277,19 @@ if __name__ == "__main__":
         help="gate live-tracing overhead instead of the CSV ratio floors",
     )
     _parser.add_argument(
-        "--rounds", type=int, default=5, help="best-of-N rounds (trace mode)"
+        "--exec-speedup",
+        action="store_true",
+        help="gate sharded-vs-serial world evaluation (skips on 1-core hosts)",
+    )
+    _parser.add_argument(
+        "--workers", type=int, default=2, help="pool size (exec mode)"
+    )
+    _parser.add_argument(
+        "--rounds", type=int, default=5, help="best-of-N rounds (trace/exec modes)"
     )
     _args = _parser.parse_args()
-    sys.exit(trace_overhead(_args.rounds) if _args.trace_overhead else main())
+    if _args.trace_overhead:
+        sys.exit(trace_overhead(_args.rounds))
+    if _args.exec_speedup:
+        sys.exit(exec_speedup(min(_args.rounds, 3), _args.workers))
+    sys.exit(main())

@@ -25,6 +25,7 @@ import argparse
 import time
 from pathlib import Path
 
+from repro.exec import make_executor
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import (
     run_obfuscation_sweep,
@@ -62,6 +63,10 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--eps", type=float, nargs="+", default=None,
                         help="paper eps grid (default 1e-3 1e-4, smoke 1e-3)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for sweep cells and world evaluation "
+                        "(0 = all cores); tables are bit-identical at any "
+                        "worker count")
     parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE,
                         help="dataset .npz cache directory")
     parser.add_argument("--out", type=Path, default=None,
@@ -108,6 +113,9 @@ def main() -> None:
     # graph instead of building a laptop surrogate.
     config._graph_cache[("dblp", scale, args.seed)] = graph
 
+    import os
+
+    executor = make_executor(args.workers)
     rows: list[dict] = []
     meta = {
         "table": "meta",
@@ -116,11 +124,13 @@ def main() -> None:
         "n": graph.num_vertices,
         "m": graph.num_edges,
         "worlds": worlds,
+        "workers": executor.workers,
+        "cpu_count": os.cpu_count() or 1,
         "graph_sec": round(t_graph, 2),
     }
 
     with span("table2", worlds=worlds) as sp_sweep:
-        sweep = run_obfuscation_sweep(config)
+        sweep = run_obfuscation_sweep(config, executor=executor)
     t_sweep = sp_sweep.wall_s
     meta["table2_sec"] = round(t_sweep, 2)
     meta["table2_peak_rss_mb"] = round(peak_rss_mb(), 1)
@@ -131,7 +141,7 @@ def main() -> None:
 
     with span("table4", worlds=worlds) as sp_util:
         utility_sweep = [e for e in sweep if e.paper_eps == min(eps_values)]
-        t4_rows = table4_rows(utility_sweep, config, cache={})
+        t4_rows = table4_rows(utility_sweep, config, cache={}, executor=executor)
     t_util = sp_util.wall_s
     meta["table4_sec"] = round(t_util, 2)
     meta["table4_peak_rss_mb"] = round(peak_rss_mb(), 1)
@@ -144,6 +154,7 @@ def main() -> None:
     rows.append(meta)
     RESULTS_DIR.mkdir(exist_ok=True)
     save_csv(rows, out)
+    executor.close()
     disable_tracing()
     manifest = build_manifest(
         "benchmarks/run_paper_scale.py",
@@ -154,6 +165,7 @@ def main() -> None:
             "k_values": list(k_values),
             "eps_values": list(eps_values),
             "smoke": bool(args.smoke),
+            "workers": args.workers,
         },
         seed=args.seed,
         tracer=tracer,

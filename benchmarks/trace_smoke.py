@@ -13,6 +13,11 @@ the tracing subsystem pins:
    posterior kernel-mix counters populated.
 3. **Reporting**: ``repro trace <run-dir>`` renders the summary and
    exits 0.
+4. **Sharded tracing**: under a 2-worker process pool, worker spans are
+   buffered in the child and grafted into the parent's stream exactly
+   once — no fork-inherited double-writes to the JSONL file — they land
+   under the executor's ``exec.map`` span, and the traced sharded run
+   stays bit-identical to the untraced one.
 
 Usage::
 
@@ -46,6 +51,80 @@ _REQUIRED_METRICS = (
 def fail(message: str) -> None:
     print(f"trace smoke FAILED: {message}", file=sys.stderr)
     raise SystemExit(1)
+
+
+def sharded_trace_checks(tmp: Path) -> None:
+    """Contract 4: worker spans ship to the parent, never to the file.
+
+    Fork children inherit the parent's open JSONL handle; before the
+    executor disarmed inherited tracers, every worker span was written
+    twice (child + graft).  This runs the sharded Table-2 sweep with
+    and without a live file tracer and checks the traced stream holds
+    exactly one ``sweep_cell`` record per grid cell, every span id is
+    unique, worker spans sit under ``exec.map``, and tracing changed
+    no output bit.
+    """
+    import numpy as np
+
+    from repro.exec import ChunkExecutor
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.harness import run_obfuscation_sweep
+    from repro.obs.trace import disable_tracing, enable_tracing
+
+    config = ExperimentConfig(
+        datasets=("dblp",),
+        scale=0.1,
+        k_values=(20,),
+        eps_values=(1e-3,),
+        worlds=10,
+        attempts=2,
+        delta=0.05,
+        seed=0,
+    )
+    trace_path = tmp / "sharded_trace.jsonl"
+    with ChunkExecutor(backend="process", workers=2) as ex:
+        plain = run_obfuscation_sweep(config, executor=ex)
+        enable_tracing(trace_path)
+        try:
+            traced = run_obfuscation_sweep(config, executor=ex)
+        finally:
+            disable_tracing()
+
+    for a, b in zip(plain, traced):
+        same = a.result.sigma == b.result.sigma and all(
+            np.array_equal(x, y)
+            for x, y in zip(
+                a.result.uncertain.pair_arrays(),
+                b.result.uncertain.pair_arrays(),
+            )
+        )
+        if not same:
+            fail("sharded traced output differs from sharded untraced output")
+    print("sharded bit identity: traced == untraced at 2 workers")
+
+    records = [
+        json.loads(line) for line in trace_path.read_text().splitlines() if line
+    ]
+    ids = [rec["id"] for rec in records]
+    if len(ids) != len(set(ids)):
+        fail("duplicate span ids in sharded trace (worker double-write)")
+    names = [rec["name"] for rec in records]
+    cell_spans = names.count("sweep_cell")
+    if cell_spans != len(plain):
+        fail(
+            f"expected exactly {len(plain)} sweep_cell span(s) in the "
+            f"sharded trace, got {cell_spans} (double-write or drop)"
+        )
+    if "exec.map" not in names:
+        fail("exec.map span missing from sharded trace")
+    map_ids = {rec["id"] for rec in records if rec["name"] == "exec.map"}
+    for rec in records:
+        if rec["name"] == "sweep_cell" and rec["parent"] not in map_ids:
+            fail("sweep_cell span not grafted under the exec.map span")
+    print(
+        f"sharded trace: {len(records)} spans, ids unique, "
+        f"{cell_spans} sweep_cell span(s) grafted under exec.map"
+    )
 
 
 def main() -> int:
@@ -111,7 +190,13 @@ def main() -> int:
         if cli_main(["trace", str(run_dir)]) != 0:
             fail("`repro trace <run-dir>` exited non-zero")
 
-    print("\ntrace smoke passed: bit identity, manifest schema, trace report")
+        # 4. sharded tracing: single-write worker spans, identity held
+        sharded_trace_checks(tmp)
+
+    print(
+        "\ntrace smoke passed: bit identity, manifest schema, trace report, "
+        "sharded single-write spans"
+    )
     return 0
 
 

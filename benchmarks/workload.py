@@ -302,9 +302,20 @@ def run_server(
     return asyncio.run(_run_server_async(host, port, config, schedule))
 
 
-def append_csv(path: Path, mode: str, config: WorkloadConfig, result: WorkloadResult) -> None:
+def append_csv(
+    path: Path,
+    mode: str,
+    config: WorkloadConfig,
+    result: WorkloadResult,
+    cache_stats: dict | None = None,
+) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fresh = not path.exists()
+    # Answer-cache telemetry (library mode only — the server driver has
+    # no engine handle): measured hit rate plus the TinyLFU admission
+    # split over the whole run, repeated on each op row.
+    stats = cache_stats or {}
+    hit_rate = stats.get("answer_hit_rate")
     with path.open("a", newline="") as fh:
         writer = csv.writer(fh)
         if fresh:
@@ -312,6 +323,7 @@ def append_csv(path: Path, mode: str, config: WorkloadConfig, result: WorkloadRe
                 [
                     "mode", "op", "target_qps", "achieved_qps", "count",
                     "p50_ms", "p99_ms", "max_ms",
+                    "answer_hit_rate", "answer_admitted", "answer_rejected",
                 ]
             )
         for op, row in result.latency_summary().items():
@@ -321,6 +333,9 @@ def append_csv(path: Path, mode: str, config: WorkloadConfig, result: WorkloadRe
                     f"{result.qps_achieved:.1f}", row["count"],
                     f"{row['p50_ms']:.4f}", f"{row['p99_ms']:.4f}",
                     f"{row['max_ms']:.4f}",
+                    "" if hit_rate is None else f"{hit_rate:.4f}",
+                    stats.get("answer_admitted", ""),
+                    stats.get("answer_rejected", ""),
                 ]
             )
 
@@ -374,7 +389,9 @@ def main(argv=None) -> int:
             f"target={config.qps:g} qps for {config.duration_s:g}s"
         )
         result = run_library(engine, config)
+        cache_stats = engine.cache_stats()
     else:
+        cache_stats = None
         if args.release:
             n = read_uncertain_graph(args.release).num_vertices
         else:
@@ -395,7 +412,13 @@ def main(argv=None) -> int:
             f"  {op:<12} n={row['count']:<6} p50={row['p50_ms']:.3f}ms "
             f"p99={row['p99_ms']:.3f}ms max={row['max_ms']:.3f}ms"
         )
-    append_csv(Path(args.csv), args.mode, config, result)
+    if cache_stats is not None:
+        print(
+            f"answer cache: hit_rate={cache_stats['answer_hit_rate']:.2%} "
+            f"admitted={cache_stats['answer_admitted']} "
+            f"rejected={cache_stats['answer_rejected']}"
+        )
+    append_csv(Path(args.csv), args.mode, config, result, cache_stats)
     print(f"appended {args.csv}")
 
     if args.manifest:
@@ -410,6 +433,7 @@ def main(argv=None) -> int:
                 "errors": result.errors,
                 "achieved_qps": result.qps_achieved,
                 "latency": summary,
+                "cache": cache_stats,
             },
         )
         out = Path(args.manifest)

@@ -137,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "is the seed-equivalent one-world-at-a-time path"
         ),
     )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for world evaluation (0 = all cores; batched "
+        "backend only; results are bit-identical at any worker count)",
+    )
 
     p = sub.add_parser("sample", parents=[common], help="draw one possible world")
     p.add_argument("--release", required=True, help="uncertain-graph file")
@@ -190,6 +195,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "repro.worlds kernels, 'sequential' is the seed-equivalent "
             "one-release-at-a-time path"
         ),
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for release evaluation (0 = all cores; batched "
+        "backend only; results are bit-identical at any worker count)",
     )
 
     p = sub.add_parser(
@@ -297,10 +307,20 @@ def _cmd_stats(args) -> int:
         if args.world_backend == "batched"
         else {}
     )
+    executor = None
+    if args.world_backend == "batched" and args.workers != 1:
+        from repro.exec import make_executor
+
+        executor = make_executor(args.workers)
+        backend_options["executor"] = executor
     estimator = WorldStatisticsEstimator(
         release, stats, backend=args.world_backend, **backend_options
     )
-    summaries = estimator.run(worlds=args.worlds, seed=args.seed)
+    try:
+        summaries = estimator.run(worlds=args.worlds, seed=args.seed)
+    finally:
+        if executor is not None:
+            executor.close()
     print(f"{'statistic':<10} {'mean':>14} {'rel.SEM':>10}")
     for name, summary in summaries.items():
         print(f"{name:<10} {summary.mean:>14.6g} {summary.relative_sem:>10.2%}")
@@ -335,29 +355,39 @@ def _cmd_compare(args) -> int:
     rows = [original_row(graph, config)]
     import numpy as np
 
-    for scheme in args.schemes:
-        p = args.p
-        if p is None:
-            p = calibrate_randomization(
-                graph,
-                scheme,
-                args.k,
-                args.eps,
-                seed=(args.seed, 17),
-                backend=args.baseline_backend,
-            )
-            if np.isnan(p):
-                print(
-                    f"{scheme}: no grid p reaches k={args.k:g} at "
-                    f"eps={args.eps:g}; row skipped"
+    executor = None
+    if args.baseline_backend == "batched" and args.workers != 1:
+        from repro.exec import make_executor
+
+        executor = make_executor(args.workers)
+    try:
+        for scheme in args.schemes:
+            p = args.p
+            if p is None:
+                p = calibrate_randomization(
+                    graph,
+                    scheme,
+                    args.k,
+                    args.eps,
+                    seed=(args.seed, 17),
+                    backend=args.baseline_backend,
                 )
-                continue
-            print(f"{scheme}: calibrated p={p:g}")
-        rows.append(
-            baseline_utility_row(
-                graph, scheme, p, config, label=f"{scheme} (p={p:g})"
+                if np.isnan(p):
+                    print(
+                        f"{scheme}: no grid p reaches k={args.k:g} at "
+                        f"eps={args.eps:g}; row skipped"
+                    )
+                    continue
+                print(f"{scheme}: calibrated p={p:g}")
+            rows.append(
+                baseline_utility_row(
+                    graph, scheme, p, config, label=f"{scheme} (p={p:g})",
+                    executor=executor,
+                )
             )
-        )
+    finally:
+        if executor is not None:
+            executor.close()
     print(render_table(rows))
     return 0
 

@@ -47,6 +47,7 @@ __all__ = [
     "poisson_binomial_pmf_tree",
     "normal_approx_pmf_batch",
     "degree_posterior_matrix",
+    "degree_posterior_matrix_sharded",
     "fold_in_bernoulli",
     "fold_in_staircase",
     "fold_out_bernoulli",
@@ -526,6 +527,63 @@ def degree_posterior_matrix(
             mus, pqs, counts[clt_vertices], support=width - 1
         )
     return X
+
+
+def _posterior_rows_task(arg, shared):
+    """One row shard of :func:`degree_posterior_matrix_sharded`."""
+    lo, hi, method, width, kernel = arg
+    indptr = shared["indptr"]
+    data = shared["data"]
+    sub_indptr = indptr[lo : hi + 1] - indptr[lo]
+    sub_data = data[indptr[lo] : indptr[hi]]
+    return degree_posterior_matrix(
+        sub_indptr, sub_data, method=method, width=width, kernel=kernel
+    )
+
+
+def degree_posterior_matrix_sharded(
+    indptr: np.ndarray,
+    data: np.ndarray,
+    *,
+    executor,
+    method: str = "auto",
+    width: int | None = None,
+    kernel: str = "auto",
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """:func:`degree_posterior_matrix` dispatched as row-block shards.
+
+    Rows are kernel-batch-independent (the pinned property that already
+    licenses the staircase/tree/CLT split), so any contiguous row block
+    evaluated against its own CSR slice produces bit-for-bit the rows
+    the monolithic call would.  ``width`` is resolved *globally* first —
+    a shard must not derive it from its local max addend count — then
+    the plan follows :func:`repro.exec.plan.posterior_rows_chunk_size`
+    (bounding each shard's output slab), and the CSR arrays travel to
+    workers once via shared memory.
+
+    Parameters other than ``executor`` (a
+    :class:`~repro.exec.executor.ChunkExecutor`) and ``chunk_size``
+    match :func:`degree_posterior_matrix`; ``out`` is unsupported here
+    because shards allocate their own blocks.
+    """
+    from repro.exec.plan import ChunkPlan
+
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    if indptr.ndim != 1 or len(indptr) < 1:
+        raise ValueError("indptr must be a non-empty 1-D array")
+    n = len(indptr) - 1
+    if width is None:
+        width = int(np.diff(indptr).max(initial=0)) + 1
+    plan = ChunkPlan.posterior_rows(n, width=width, chunk_size=chunk_size)
+    tasks = [(c.lo, c.hi, method, width, kernel) for c in plan]
+    blocks = executor.map(
+        _posterior_rows_task, tasks, shared={"indptr": indptr, "data": data}
+    )
+    if not blocks:
+        return np.zeros((0, width), dtype=np.float64)
+    return np.vstack(blocks)
 
 
 def _segment_moments(

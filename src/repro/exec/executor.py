@@ -1,0 +1,213 @@
+"""The chunk executor: one dispatch surface under every engine.
+
+:class:`ChunkExecutor` runs a list of chunk tasks through a backend:
+
+* ``backend="serial"`` — plain in-process iteration.  The degenerate
+  case every engine already was; metrics and spans flow naturally.
+* ``backend="process"`` — a ``fork``-context process pool.  Large
+  read-only constants travel via :class:`~repro.exec.shm.SharedArrayPack`
+  (zero pickling of the graph), per-chunk data travels pickled, and
+  each task result carries the worker's metric dump and buffered span
+  records back to the parent, where they are merged into the global
+  registry and the active trace (:meth:`repro.obs.trace.Tracer.absorb`).
+
+**Bit-identity discipline.**  The executor itself never touches an RNG
+stream: callers draw randomness in the parent (preserving the exact
+serial stream positions) or derive per-chunk counter-based substreams
+(``SeedSequence.spawn`` children, one per grid cell), and workers
+evaluate deterministically.  Results return in task order, so
+``executor.map(fn, tasks)`` equals ``[fn(t, shared) for t in tasks]``
+bit-for-bit — pinned at 1/2/4 workers by ``tests/exec``.
+
+**Error propagation.**  A task that raises in a worker re-raises in the
+parent (the pool's remote-traceback plumbing), after which the executor
+tears the map call down and unlinks any shared segments — a crash of
+one worker never strands shared memory or deadlocks siblings.
+
+Workers reset the global metrics registry at the start of *every* task
+(tasks run sequentially within a worker), so the end-of-task dump *is*
+the task's delta; the parent folds each delta in as results arrive.
+Fork-inherited tracers are disarmed in the worker initializer
+(:func:`repro.obs.trace.drop_inherited_tracer`) so child spans are
+buffered in memory and shipped — never double-written to the parent's
+JSONL stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.obs.metrics import REGISTRY, reset_metrics
+from repro.obs.trace import (
+    current_tracer,
+    disable_tracing,
+    drop_inherited_tracer,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+from repro.exec.shm import SharedArrayPack, attach_shared
+
+__all__ = ["ChunkExecutor", "make_executor", "effective_workers"]
+
+
+def effective_workers(workers: int | None) -> int:
+    """Resolve a ``--workers`` value (``None``/``0`` → the CPU count)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def make_executor(workers: int | None) -> "ChunkExecutor":
+    """The conventional ``--workers N`` mapping used by every driver.
+
+    ``None``/``0``/``1`` → the serial backend; ``N > 1`` → a process
+    pool of ``N`` workers.  (``0`` resolves to the CPU count first, so
+    ``--workers 0`` means "all cores" and only falls back to serial on
+    a single-core box.)
+    """
+    resolved = effective_workers(workers)
+    if resolved <= 1:
+        return ChunkExecutor(backend="serial")
+    return ChunkExecutor(backend="process", workers=resolved)
+
+
+def _worker_init() -> None:
+    """Per-process initialisation, run once right after fork."""
+    drop_inherited_tracer()
+    reset_metrics()
+
+
+def _run_task(payload):
+    """Worker-side task wrapper: metrics delta + buffered span capture."""
+    fn, arg, descriptor, capture_spans = payload
+    shared = attach_shared(descriptor)
+    reset_metrics()
+    tracer = enable_tracing(None) if capture_spans else None
+    try:
+        result = fn(arg, shared)
+    finally:
+        if tracer is not None:
+            disable_tracing()
+    records = tracer.finished if tracer is not None else []
+    return result, REGISTRY.dump(), records
+
+
+class ChunkExecutor:
+    """Ordered ``map`` of chunk tasks over a serial or process backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"process"``.
+    workers:
+        Pool size for the process backend (default: the CPU count).
+        Ignored by the serial backend.
+
+    Use as a context manager, or call :meth:`close` when done; the
+    process pool is created lazily on first :meth:`map` and reused
+    across calls (workers keep their attached shared segments and warm
+    caches between maps).
+    """
+
+    def __init__(self, *, backend: str = "serial", workers: int | None = None):
+        if backend not in ("serial", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use serial/process"
+            )
+        self.backend = backend
+        self.workers = effective_workers(workers) if backend == "process" else 1
+        self._pool = None
+        if backend == "process":
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" not in methods:  # pragma: no cover - non-POSIX
+                raise RuntimeError(
+                    "the process backend needs the fork start method "
+                    f"(available: {methods}); use backend='serial'"
+                )
+
+    # ------------------------------------------------------------------
+    def map(self, fn, tasks, *, shared=None) -> list:
+        """``[fn(task, shared_arrays) for task in tasks]``, maybe sharded.
+
+        Parameters
+        ----------
+        fn:
+            A **module-level** callable ``fn(task, shared) -> result``
+            (workers import it by reference).  ``shared`` is a
+            ``dict[str, np.ndarray]`` or ``None``.
+        tasks:
+            The per-chunk arguments, in result order.
+        shared:
+            Optional dict of large read-only arrays.  The serial
+            backend passes it through untouched; the process backend
+            exports it to shared memory for the duration of the call.
+
+        Results come back in task order regardless of which worker ran
+        what — the property every seed-equivalence pin relies on.
+        """
+        tasks = list(tasks)
+        if self.backend == "serial":
+            return [fn(task, shared) for task in tasks]
+        return self._map_process(fn, tasks, shared)
+
+    def _map_process(self, fn, tasks, shared) -> list:
+        if not tasks:
+            return []
+        if self._pool is None:
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(self.workers, initializer=_worker_init)
+        pack = SharedArrayPack(shared) if shared else None
+        descriptor = pack.descriptor if pack is not None else None
+        capture = tracing_enabled()
+        tracer = current_tracer()
+        results = []
+        try:
+            with span(
+                "exec.map",
+                backend=self.backend,
+                workers=self.workers,
+                tasks=len(tasks),
+            ):
+                payloads = [(fn, task, descriptor, capture) for task in tasks]
+                for result, metrics_dump, records in self._pool.imap(
+                    _run_task, payloads
+                ):
+                    REGISTRY.merge(metrics_dump)
+                    if tracer is not None:
+                        tracer.absorb(records)
+                    results.append(result)
+        except BaseException:
+            # A worker crash (or parent interrupt) may leave tasks in
+            # flight; terminate so the pool cannot touch the shared
+            # segments after they are unlinked below.
+            self.close()
+            raise
+        finally:
+            if pack is not None:
+                pack.close()
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the process pool down (idempotent; serial is a no-op)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ChunkExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -183,6 +183,7 @@ def baseline_utility_row(
     *,
     label: str | None = None,
     original: dict[str, float] | None = None,
+    executor=None,
 ) -> dict:
     """Mean statistics over sampled releases + avg relative error vs original.
 
@@ -216,6 +217,7 @@ def baseline_utility_row(
                     graph, scheme, p, config.baseline_samples, seed=rng
                 ),
                 list(PAPER_STATISTIC_NAMES),
+                executor=executor,
             )
         else:
             sums = {name: [] for name in PAPER_STATISTIC_NAMES}
@@ -243,11 +245,12 @@ def obfuscation_utility_row(
     *,
     label: str | None = None,
     original: dict[str, float] | None = None,
+    executor=None,
 ) -> dict:
     """Table-6 row for the uncertain-graph method at one sweep cell."""
     if original is None:
         original = _original_statistics(entry.graph, config)
-    summaries = evaluate_utility(entry, config)
+    summaries = evaluate_utility(entry, config, executor=executor)
     row: dict = {
         "variant": label or f"obf. (k={entry.k}, eps={entry.paper_eps:g})"
     }
@@ -281,6 +284,7 @@ def table6_rows(
     config: ExperimentConfig,
     *,
     matchups: list[dict] | None = None,
+    executor=None,
 ) -> list[dict]:
     """Full Table 6: original vs randomization vs obfuscation per dataset.
 
@@ -345,10 +349,13 @@ def table6_rows(
                 config,
                 label=f"rand.{match['scheme'][:5]}. (p={p:g})",
                 original=originals[dataset],
+                executor=executor,
             )
             row["dataset"] = dataset
             rows.append(row)
-        row = obfuscation_utility_row(cell, config, original=originals[dataset])
+        row = obfuscation_utility_row(
+            cell, config, original=originals[dataset], executor=executor
+        )
         row["dataset"] = dataset
         rows.append(row)
     return rows

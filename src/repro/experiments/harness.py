@@ -15,12 +15,13 @@ import numpy as np
 
 from repro.core.search import obfuscate_with_fallback
 from repro.core.types import ObfuscationResult
+from repro.exec.plan import ChunkPlan
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.graph import Graph
 from repro.obs.trace import span
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.stats.sampling import SampleSummary, WorldStatisticsEstimator
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawn_seed_sequences
 
 _log = logging.getLogger("repro.experiments.harness")
 
@@ -42,10 +43,52 @@ class SweepEntry:
         return self.result.params.c
 
 
+#: Worker-local graph cache: one entry, keyed on the live shared dict
+#: (a new ``map`` call exports a new pack, hence a new dict object).
+_GRAPH_MEMO: tuple | None = None
+
+
+def _shared_graph(shared: dict, dataset: str, n: int) -> Graph:
+    """Rebuild (once per pack per dataset) a graph from shared edges."""
+    global _GRAPH_MEMO
+    if _GRAPH_MEMO is None or _GRAPH_MEMO[0] is not shared:
+        _GRAPH_MEMO = (shared, {})
+    graphs = _GRAPH_MEMO[1]
+    if dataset not in graphs:
+        graphs[dataset] = Graph.from_edge_array(n, shared[f"edges:{dataset}"])
+    return graphs[dataset]
+
+
+def _sweep_cell_task(arg, shared) -> ObfuscationResult:
+    """One grid cell, runnable in any process.
+
+    The cell's generator is its ``SeedSequence.spawn`` child — a pure
+    function of ``(config.seed, len(cells), cell index)`` — so a worker
+    building it from the pickled sequence gets the byte-identical stream
+    the serial loop would hand :func:`obfuscate_with_fallback`.
+    """
+    (dataset, k, paper_eps, eps_used, n, c_chain, q, attempts, delta, child) = arg
+    graph = _shared_graph(shared, dataset, n)
+    with span("sweep_cell", dataset=dataset, k=k, eps=paper_eps) as sp:
+        result = obfuscate_with_fallback(
+            graph,
+            k,
+            eps_used,
+            c_values=c_chain,
+            seed=np.random.default_rng(child),
+            q=q,
+            attempts=attempts,
+            delta=delta,
+        )
+        sp.set(success=result.success, sigma=result.sigma, c=result.params.c)
+    return result
+
+
 def run_obfuscation_sweep(
     config: ExperimentConfig,
     *,
     eps_values: tuple[float, ...] | None = None,
+    executor=None,
 ) -> list[SweepEntry]:
     """Run Algorithm 1 for every (dataset, k, ε) combination.
 
@@ -55,6 +98,12 @@ def run_obfuscation_sweep(
         The experiment grid.
     eps_values:
         Optional ε subset override (Table 4 uses only ε = 10⁻⁴).
+    executor:
+        Optional :class:`~repro.exec.executor.ChunkExecutor`.  Grid
+        cells are independent (each owns a counter-derived child
+        stream), so a process backend runs them across workers; entries
+        come back in the paper's row order with values bit-identical to
+        the serial loop.
 
     Returns
     -------
@@ -66,27 +115,50 @@ def run_obfuscation_sweep(
     cells = [
         (d, k, e) for d in config.datasets for k in config.k_values for e in eps_values
     ]
-    rngs = spawn_rngs(config.seed, len(cells))
-    entries: list[SweepEntry] = []
-    for (dataset, k, paper_eps), rng in zip(cells, rngs):
-        graph = config.graph(dataset)
+    children = spawn_seed_sequences(config.seed, len(cells))
+    plan = ChunkPlan.cells(len(cells))
+    graphs = {dataset: config.graph(dataset) for dataset in config.datasets}
+    tasks = []
+    for (dataset, k, paper_eps), child in zip(cells, children):
         eps_used = config.eps_for(dataset, paper_eps)
         _log.info(
             "sweep cell %s k=%d eps=%g (scaled %g)",
             dataset, k, paper_eps, eps_used,
         )
-        with span("sweep_cell", dataset=dataset, k=k, eps=paper_eps) as sp:
-            result = obfuscate_with_fallback(
-                graph,
+        tasks.append(
+            (
+                dataset,
                 k,
+                paper_eps,
                 eps_used,
-                c_values=config.c_chain,
-                seed=rng,
-                q=config.q,
-                attempts=config.attempts,
-                delta=config.delta,
+                graphs[dataset].num_vertices,
+                config.c_chain,
+                config.q,
+                config.attempts,
+                config.delta,
+                child,
             )
-            sp.set(success=result.success, sigma=result.sigma, c=result.params.c)
+        )
+    assert len(plan) == len(tasks)
+    global _GRAPH_MEMO
+    if executor is not None and getattr(executor, "backend", "serial") == "process":
+        # The config (it caches Graph objects) never crosses the pickle
+        # channel: cells travel as primitives + their seed child, and
+        # each dataset's edge list travels once via shared memory.
+        shared = {
+            f"edges:{dataset}": graph.edge_array()
+            for dataset, graph in graphs.items()
+        }
+        results = executor.map(_sweep_cell_task, tasks, shared=shared)
+    else:
+        # Serial: hand the task the parent's own Graph objects by
+        # prefilling the memo against a sentinel dict.
+        shared = {}
+        _GRAPH_MEMO = (shared, dict(graphs))
+        results = [_sweep_cell_task(task, shared) for task in tasks]
+        _GRAPH_MEMO = None
+    entries: list[SweepEntry] = []
+    for (dataset, k, paper_eps), task, result in zip(cells, tasks, results):
         if not result.success:
             _log.warning(
                 "sweep cell %s k=%d eps=%g failed at every c in %s",
@@ -97,9 +169,9 @@ def run_obfuscation_sweep(
                 dataset=dataset,
                 k=k,
                 paper_eps=paper_eps,
-                eps_used=eps_used,
+                eps_used=task[3],
                 result=result,
-                graph=graph,
+                graph=graphs[dataset],
             )
         )
     return entries
@@ -148,12 +220,15 @@ def evaluate_utility(
     config: ExperimentConfig,
     *,
     cache: dict | None = None,
+    executor=None,
 ) -> dict[str, SampleSummary]:
     """Sample ``config.worlds`` possible worlds and summarise all statistics.
 
     ``cache`` (keyed by (dataset, k, paper_eps)) lets Tables 4 and 5 —
     which report different views of the same 100-world sample — share one
-    sampling pass, as the paper's tables do.
+    sampling pass, as the paper's tables do.  ``executor`` (batched
+    backend only) shards world evaluation across processes — the parent
+    draws every world, so summaries stay bit-identical to serial.
     """
     assert entry.result.uncertain is not None, "cannot evaluate a failed cell"
     key = (entry.dataset, entry.k, entry.paper_eps)
@@ -169,6 +244,8 @@ def evaluate_utility(
         if config.world_backend == "batched"
         else {}
     )
+    if executor is not None and config.world_backend == "batched":
+        backend_options["executor"] = executor
     estimator = WorldStatisticsEstimator(
         entry.result.uncertain,
         stats,
@@ -198,6 +275,7 @@ def table4_rows(
     config: ExperimentConfig,
     *,
     cache: dict | None = None,
+    executor=None,
 ) -> list[dict]:
     """Table 4: sample means vs original values + average relative error.
 
@@ -219,7 +297,7 @@ def table4_rows(
                     {"dataset": dataset, "variant": f"k={e.k}", "rel_err": float("nan")}
                 )
                 continue
-            summaries = evaluate_utility(e, config, cache=cache)
+            summaries = evaluate_utility(e, config, cache=cache, executor=executor)
             rel_errors = []
             row: dict = {"dataset": dataset, "variant": f"k={e.k}"}
             for name in PAPER_STATISTIC_NAMES:
@@ -236,13 +314,14 @@ def table5_rows(
     config: ExperimentConfig,
     *,
     cache: dict | None = None,
+    executor=None,
 ) -> list[dict]:
     """Table 5: relative sample SEM of every statistic per (dataset, k)."""
     rows: list[dict] = []
     for e in sweep:
         if not e.result.success:
             continue
-        summaries = evaluate_utility(e, config, cache=cache)
+        summaries = evaluate_utility(e, config, cache=cache, executor=executor)
         row: dict = {"dataset": e.dataset, "k": e.k}
         sems = []
         for name in PAPER_STATISTIC_NAMES:

@@ -77,6 +77,10 @@ def _parse_args(argv=None) -> argparse.Namespace:
                         help="errors only")
     parser.add_argument("--trace", action="store_true",
                         help="record a span trace to <out>/trace.jsonl")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for sweep cells and world/release "
+                        "evaluation (0 = all cores); every table is "
+                        "bit-identical at any worker count")
     return parser.parse_args(argv)
 
 
@@ -96,11 +100,15 @@ def run_all(args) -> None:
     args.out.mkdir(parents=True, exist_ok=True)
     tracer = enable_tracing(args.out / "trace.jsonl" if args.trace else None)
     t0 = time.perf_counter()
+    from repro.exec import make_executor
+
+    executor = make_executor(getattr(args, "workers", 1))
 
     print(f"# sweep: datasets={config.datasets} k={config.k_values} "
-          f"eps={config.eps_values} scale={config.scale}")
+          f"eps={config.eps_values} scale={config.scale} "
+          f"workers={executor.workers}")
     with span("sweep"):
-        sweep = run_obfuscation_sweep(config)
+        sweep = run_obfuscation_sweep(config, executor=executor)
     print(f"# sweep finished in {time.perf_counter() - t0:.1f}s\n")
 
     with span("tables_2_3"):
@@ -115,18 +123,18 @@ def run_all(args) -> None:
     strict = [e for e in sweep if e.paper_eps == min(config.eps_values)]
     cache: dict = {}
     with span("tables_4_5"):
-        rows4 = table4_rows(strict, config, cache=cache)
+        rows4 = table4_rows(strict, config, cache=cache, executor=executor)
         print(render_table(rows4, title="Table 4: sample means (strict eps)"))
         print()
         save_csv(rows4, args.out / "table4.csv")
 
-        rows5 = table5_rows(strict, config, cache=cache)
+        rows5 = table5_rows(strict, config, cache=cache, executor=executor)
         print(render_table(rows5, title="Table 5: relative sample SEM"))
         print()
         save_csv(rows5, args.out / "table5.csv")
 
     with span("table_6"):
-        rows6 = table6_rows(sweep, config)
+        rows6 = table6_rows(sweep, config, executor=executor)
         print(render_table(rows6, title="Table 6: comparison vs randomization"))
         print()
         save_csv(rows6, args.out / "table6.csv")
@@ -159,6 +167,7 @@ def run_all(args) -> None:
                 save_csv(rows, args.out / f"fig4_{dataset}.csv")
 
     elapsed = time.perf_counter() - t0
+    executor.close()
     disable_tracing()
     manifest = build_manifest(
         "python -m repro.experiments",
@@ -171,6 +180,7 @@ def run_all(args) -> None:
             "baseline_samples": config.baseline_samples,
             "attempts": config.attempts,
             "delta": config.delta,
+            "workers": executor.workers,
         },
         seed=args.seed,
         tracer=tracer,

@@ -105,6 +105,12 @@ class Counter:
     def _snapshot(self):
         return self.value
 
+    def _dump(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+    def _merge(self, dump: dict) -> None:
+        self.add(dump["value"])
+
 
 class Gauge:
     """A last-write-wins scalar (e.g. a configured chunk size)."""
@@ -126,6 +132,14 @@ class Gauge:
 
     def _snapshot(self):
         return self.value
+
+    def _dump(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+    def _merge(self, dump: dict) -> None:
+        # Last-write-wins semantics: a worker's gauge value stands in
+        # for the set() call the serial path would have made.
+        self.set(dump["value"])
 
 
 class Histogram:
@@ -254,6 +268,43 @@ class Histogram:
             snap["p99"] = self.percentile(0.99)
         return snap
 
+    def _dump(self) -> dict:
+        """Full mergeable state — unlike :meth:`_snapshot`, includes the
+        raw bucket counts so a parent registry can fold a worker's
+        histogram in without losing percentile resolution."""
+        with self._lock:
+            return {
+                "kind": "histogram",
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "bounds": self.bucket_bounds,
+                "counts": (
+                    list(self.bucket_counts)
+                    if self.bucket_counts is not None
+                    else None
+                ),
+            }
+
+    def _merge(self, dump: dict) -> None:
+        if not dump["count"]:
+            return
+        with self._lock:
+            self.count += dump["count"]
+            self.total += dump["total"]
+            if dump["min"] < self.min:
+                self.min = dump["min"]
+            if dump["max"] > self.max:
+                self.max = dump["max"]
+            if (
+                self.bucket_counts is not None
+                and dump["counts"] is not None
+                and self.bucket_bounds == tuple(dump["bounds"])
+            ):
+                for i, c in enumerate(dump["counts"]):
+                    self.bucket_counts[i] += c
+
 
 class MetricsRegistry:
     """Name → instrument registry with in-place reset.
@@ -321,6 +372,42 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._instruments.get(name)
         return instrument._snapshot() if instrument is not None else default
+
+    def dump(self) -> dict:
+        """Mergeable full state of every instrument (see :meth:`merge`).
+
+        Unlike :meth:`snapshot` this preserves histogram bucket counts,
+        so a worker's dump folded into the parent loses nothing.  The
+        result is picklable plain data — the shape the
+        :mod:`repro.exec` result channel ships.
+        """
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument._dump() for name, instrument in instruments}
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, gauges take the dumped value (last-write-wins),
+        histograms fold count/total/min/max and — when bucket layouts
+        agree — bucket counts.  Instruments unknown here are created,
+        so a worker that touched a metric the parent never did still
+        surfaces it in the merged snapshot.
+        """
+        for name, data in dump.items():
+            kind = data["kind"]
+            if kind == "counter":
+                self.counter(name)._merge(data)
+            elif kind == "gauge":
+                self.gauge(name)._merge(data)
+            else:
+                try:
+                    instrument = self.histogram(name, buckets=data["bounds"])
+                except ValueError:
+                    # Bucket layouts disagree (possible across versions);
+                    # _merge still folds the scalar summary safely.
+                    instrument = self._get(name, Histogram)
+                instrument._merge(data)
 
 
 #: The process-wide registry every engine instruments against.

@@ -41,6 +41,7 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "disable_tracing",
+    "drop_inherited_tracer",
     "enable_tracing",
     "span",
     "traced",
@@ -184,6 +185,38 @@ class Tracer:
             self._file = None
 
     # ------------------------------------------------------------------
+    def absorb(self, records: list[dict]) -> None:
+        """Graft finished spans from a worker process into this trace.
+
+        ``records`` is the worker tracer's ``finished`` list — flat
+        span dicts with worker-local ids.  Ids are remapped into this
+        tracer's id space, worker roots (``parent == -1``) are attached
+        under the currently open span (the executor's ``exec.map``
+        span, normally), and depths are shifted accordingly, so the
+        grafted spans land in the span tree and the JSONL stream
+        exactly where the work logically happened.  This is the *only*
+        path by which worker spans reach disk: workers trace in memory
+        and ship records over the result channel, never holding the
+        trace file (the fork-inherited double-write this replaces).
+        """
+        if not records:
+            return
+        base_parent = self._stack[-1].span_id if self._stack else -1
+        base_depth = len(self._stack)
+        id_map: dict[int, int] = {}
+        for rec in records:
+            id_map[rec["id"]] = self._next_id
+            self._next_id += 1
+        for rec in records:
+            grafted = dict(rec)
+            grafted["id"] = id_map[rec["id"]]
+            grafted["parent"] = id_map.get(rec["parent"], base_parent)
+            grafted["depth"] = rec["depth"] + base_depth
+            self.finished.append(grafted)
+            if self._file is not None:
+                self._file.write(json.dumps(grafted) + "\n")
+
+    # ------------------------------------------------------------------
     def span_tree(self) -> list[dict]:
         """Finished spans as a nested forest (manifest ``spans`` field).
 
@@ -258,6 +291,40 @@ def disable_tracing() -> Tracer | None:
     if tracer is not None:
         tracer.close()
     return tracer
+
+
+def drop_inherited_tracer() -> None:
+    """Disarm a tracer inherited across ``fork`` (worker initializer).
+
+    A forked worker inherits the parent's active tracer *including its
+    open JSONL file object and its buffered, not-yet-flushed bytes*.
+    If the child were to close (or even just keep) that handle, the
+    inherited buffer would flush from the child too and every span
+    could be written twice — once per process.  This drops the child's
+    reference without flushing or closing anything: the parent's copy
+    of the file descriptor is untouched, and the child starts with no
+    tracer (the executor installs a fresh in-memory one per task when
+    the parent is tracing).
+    """
+    global _ACTIVE
+    tracer = _ACTIVE
+    _ACTIVE = None
+    if tracer is not None and tracer._file is not None:
+        # The child's fd table is its own after fork: pointing the
+        # inherited descriptor at /dev/null means any flush the child
+        # ever performs (including the implicit one at interpreter
+        # exit) lands nowhere, while the parent's descriptor — a
+        # separate entry in a separate process — keeps writing the
+        # real trace file.
+        import os
+
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, tracer._file.fileno())
+            os.close(devnull)
+        except OSError:  # pragma: no cover - fd already gone
+            pass
+        tracer._file = None
 
 
 def tracing_enabled() -> bool:

@@ -12,7 +12,10 @@ shared state, so a coalescing window of concurrent queries costs:
   batch's disjoint-union CSR), with the resulting ``(W, n)`` distance
   rows LRU-cached across windows;
 * **zero kernel work** for repeated ``(op, args)`` queries — a bounded
-  answer cache absorbs the hot pairs of a zipfian workload.
+  answer cache absorbs the hot pairs of a zipfian workload.  Admission
+  is frequency-gated (TinyLFU-style: a count-min sketch of request
+  frequencies decides whether a miss may evict the LRU victim), so the
+  workload's cold tail cannot churn its hot head out of the cache.
 
 Every cache layer is *exactness-preserving*: a cached answer is the
 same object the kernel would recompute, and the kernels are seed-pinned
@@ -51,6 +54,8 @@ __all__ = ["QueryEngine"]
 _QUERIES = _OBS.counter("serve.queries")
 _ERRORS = _OBS.counter("serve.errors")
 _ANSWER_HITS = _OBS.counter("serve.cache.answer_hits")
+_ANSWER_ADMITTED = _OBS.counter("serve.cache.answer_admitted")
+_ANSWER_REJECTED = _OBS.counter("serve.cache.answer_rejected")
 _DIST_HITS = _OBS.counter("serve.cache.dist_hits")
 _BFS_PASSES = _OBS.counter("serve.bfs.passes")
 _BATCHES = _OBS.counter("serve.batches.sampled")
@@ -77,6 +82,103 @@ class _LRU(OrderedDict):
             self.popitem(last=False)
 
 
+class _FrequencySketch:
+    """Count-min sketch with 4-bit counters and periodic halving.
+
+    The TinyLFU frequency filter: four hash rows of saturating 4-bit
+    counters estimate how often each key has been *requested* (not how
+    often it was cached).  After ``8 × cap`` recorded accesses every
+    counter halves — the aging step that makes the estimate a sliding
+    window rather than an all-time count, so yesterday's hot keys decay
+    instead of squatting on admission forever.
+    """
+
+    _SEEDS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9,
+              0x27D4EB2F165667C5)
+
+    def __init__(self, cap: int):
+        width = 64
+        while width < 4 * cap:
+            width <<= 1
+        self._mask = width - 1
+        self._rows = np.zeros((len(self._SEEDS), width), dtype=np.uint8)
+        self._ops = 0
+        self._sample = 8 * max(cap, 1)
+
+    def _indices(self, h: int) -> list[int]:
+        return [
+            ((h ^ seed) * 0x9E3779B97F4A7C15 >> 32) & self._mask
+            for seed in self._SEEDS
+        ]
+
+    def increment(self, h: int) -> None:
+        for row, idx in enumerate(self._indices(h)):
+            if self._rows[row, idx] < 15:
+                self._rows[row, idx] += 1
+        self._ops += 1
+        if self._ops >= self._sample:
+            self._rows >>= 1
+            self._ops = 0
+
+    def estimate(self, h: int) -> int:
+        return min(
+            int(self._rows[row, idx])
+            for row, idx in enumerate(self._indices(h))
+        )
+
+
+class _TinyLFU:
+    """Admission-gated LRU: evict only for candidates that earn it.
+
+    A plain LRU admits every miss, so a long tail of one-off queries
+    steadily evicts the zipfian head between its recurrences.  Here the
+    LRU is fronted by a :class:`_FrequencySketch`: a miss is admitted
+    only when its estimated request frequency is at least the eviction
+    victim's, so cold singletons bounce off a warm cache instead of
+    churning it.  Same ``get_touch``/``put`` surface as :class:`_LRU`;
+    ``put`` returns whether the entry was admitted.
+    """
+
+    def __init__(self, cap: int):
+        self.cap = cap
+        self._store: OrderedDict = OrderedDict()
+        self._sketch = _FrequencySketch(cap)
+        self.hits = 0
+        self.misses = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get_touch(self, key):
+        self._sketch.increment(hash(key))
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> bool:
+        if key in self._store:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            return True
+        if len(self._store) >= self.cap:
+            victim = next(iter(self._store))
+            if self._sketch.estimate(hash(key)) < self._sketch.estimate(
+                hash(victim)
+            ):
+                self.rejected += 1
+                return False
+            del self._store[victim]
+        self._store[key] = value
+        self.admitted += 1
+        return True
+
+
 class QueryEngine:
     """Answer degree/reliability/k-hop/distance/k-NN queries on a release.
 
@@ -89,10 +191,11 @@ class QueryEngine:
         Default Monte-Carlo sample size and seed for queries that do
         not spell out their own — the Corollary-1 knob of the paper.
     max_batches, max_dist_rows, max_answers:
-        LRU capacities: sampled world batches (keyed by
-        ``(seed, worlds)``), per-source distance-row matrices (keyed by
-        ``(seed, worlds, source)``), and finished answers (keyed by the
-        resolved :class:`~repro.serve.protocol.Query`).
+        Cache capacities: sampled world batches (LRU keyed by
+        ``(seed, worlds)``), per-source distance-row matrices (LRU
+        keyed by ``(seed, worlds, source)``), and finished answers
+        (a :class:`_TinyLFU` admission-gated LRU keyed by the resolved
+        :class:`~repro.serve.protocol.Query`).
     """
 
     def __init__(
@@ -113,7 +216,7 @@ class QueryEngine:
         self._lock = threading.Lock()
         self._batches: _LRU = _LRU(max_batches)
         self._dist_rows: _LRU = _LRU(max_dist_rows)
-        self._answers: _LRU = _LRU(max_answers)
+        self._answers: _TinyLFU = _TinyLFU(max_answers)
         # Deterministic aggregates the sampling layer never touches.
         self._expected_degrees = uncertain.expected_degrees()
 
@@ -135,11 +238,18 @@ class QueryEngine:
         return self.execute([query])[0]
 
     def cache_stats(self) -> dict:
-        """Sizes of the three cache layers (for manifests/debugging)."""
+        """Sizes plus answer-cache hit/admission counts (for manifests)."""
+        answers = self._answers
+        lookups = answers.hits + answers.misses
         return {
             "batches": len(self._batches),
             "dist_rows": len(self._dist_rows),
-            "answers": len(self._answers),
+            "answers": len(answers),
+            "answer_hits": answers.hits,
+            "answer_misses": answers.misses,
+            "answer_hit_rate": answers.hits / lookups if lookups else 0.0,
+            "answer_admitted": answers.admitted,
+            "answer_rejected": answers.rejected,
         }
 
     # ------------------------------------------------------------------
@@ -270,5 +380,8 @@ class QueryEngine:
 
     def _finish(self, query: Query, answer) -> dict:
         payload = {"result": wire_payload(query, answer)}
-        self._answers.put(query, payload)
+        if self._answers.put(query, payload):
+            _ANSWER_ADMITTED.add()
+        else:
+            _ANSWER_REJECTED.add()
         return payload

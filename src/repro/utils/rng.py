@@ -37,6 +37,29 @@ def as_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seed_sequences(seed, n: int) -> list[np.random.SeedSequence]:
+    """The ``n`` child :class:`~numpy.random.SeedSequence` roots of ``seed``.
+
+    The counter-based substream derivation under :func:`spawn_rngs`:
+    child ``i`` is ``SeedSequence(seed).spawn(n)[i]``, a pure function
+    of ``(seed, n, i)``.  Because no bit-stream state is consumed, any
+    process can derive any child independently — which is what lets the
+    sweep grid shard cells across workers while staying bit-identical
+    to the serial loop (each cell's generator is the same object either
+    way).  Seed sequences are picklable, so they also travel on the
+    :mod:`repro.exec` task channel directly.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(n)
+
+
 def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent generators from one seed.
 
@@ -57,12 +80,6 @@ def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
     -------
     list[numpy.random.Generator]
     """
-    if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
-    if isinstance(seed, np.random.SeedSequence):
-        root = seed
-    elif isinstance(seed, np.random.Generator):
-        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
-    else:
-        root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(n)]
+    return [
+        np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)
+    ]

@@ -24,6 +24,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.exec.plan import draw_rows_per_pass
 from repro.graphs.graph import Graph
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.uncertain.graph import UncertainGraph
@@ -43,11 +44,12 @@ def draw_packed_keep_bits(rng, worlds: int, m: int, predicate) -> np.ndarray:
     ``predicate`` maps each ``(count, m)`` uniform block to its boolean
     keep block (e.g. ``u < ps`` for world sampling, ``u >= p`` for the
     sparsification release engine).  Row groups bound the float64
-    uniform transient; C-order row fill means any grouping consumes the
-    identical RNG stream, which is what keeps every batch sampler
-    seed-equivalent to its sequential counterpart.
+    uniform transient (:func:`repro.exec.plan.draw_rows_per_pass`);
+    C-order row fill means any grouping consumes the identical RNG
+    stream, which is what keeps every batch sampler seed-equivalent to
+    its sequential counterpart.
     """
-    rows_per_draw = max(1, (8 << 20) // max(m, 1))
+    rows_per_draw = draw_rows_per_pass(m)
     parts = []
     for lo in range(0, worlds, rows_per_draw):
         count = min(rows_per_draw, worlds - lo)
@@ -88,6 +90,18 @@ class _UnionIncidence:
         self.pair = np.concatenate(
             [np.arange(m, dtype=np.int64)] * 2
         )[order] if m else np.zeros(0, dtype=np.int64)
+
+    @classmethod
+    def from_sorted(
+        cls, heads: np.ndarray, tails: np.ndarray, pair: np.ndarray
+    ) -> "_UnionIncidence":
+        """Adopt already-sorted incidence arrays (e.g. shared-memory
+        views exported by the parent), skipping the per-process lexsort."""
+        self = cls.__new__(cls)
+        self.heads = heads
+        self.tails = tails
+        self.pair = pair
+        return self
 
 
 class WorldBatch:
@@ -144,7 +158,12 @@ class WorldBatch:
     # ------------------------------------------------------------------
     @classmethod
     def sample(
-        cls, uncertain: UncertainGraph, worlds: int, *, seed=None
+        cls,
+        uncertain: UncertainGraph,
+        worlds: int,
+        *,
+        seed=None,
+        union_cell: list | None = None,
     ) -> "WorldBatch":
         """Draw ``worlds`` independent possible worlds in one pass.
 
@@ -159,6 +178,12 @@ class WorldBatch:
             ``Generator`` consumes ``W·m`` uniforms from it — the same
             stream positions a sequential sampler would use, so batched
             and sequential draws from one generator interleave exactly.
+        union_cell:
+            Optional shared union-incidence holder.  Successive batches
+            sampled from the *same* uncertain graph share one candidate
+            pair set (``pair_arrays`` is cached), so a caller looping
+            chunks can thread one cell through and pay the incidence
+            lexsort once instead of once per chunk.
         """
         if worlds < 0:
             raise ValueError(f"number of worlds must be non-negative, got {worlds}")
@@ -168,7 +193,9 @@ class WorldBatch:
             rng, worlds, len(ps), lambda uniforms: uniforms < ps
         )
         _WORLDS_SAMPLED.add(worlds)
-        return cls(uncertain.num_vertices, us, vs, packed, len(ps))
+        return cls(
+            uncertain.num_vertices, us, vs, packed, len(ps), union_cell=union_cell
+        )
 
     @classmethod
     def from_keep_matrix(
@@ -207,6 +234,12 @@ class WorldBatch:
     def nbytes(self) -> int:
         """Memory held by the packed keep matrix."""
         return int(self._packed.nbytes)
+
+    @property
+    def packed_bits(self) -> np.ndarray:
+        """The raw ``(W, ⌈m/8⌉)`` packed keep bits (the wire format the
+        execution layer ships to worker processes)."""
+        return self._packed
 
     # ------------------------------------------------------------------
     # views

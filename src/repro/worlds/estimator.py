@@ -36,6 +36,11 @@ from collections.abc import Callable, Mapping
 
 import numpy as np
 
+from repro.exec.plan import (
+    SAMPLE_CHUNK_DEFAULT,
+    ChunkPlan,
+    world_eval_chunk_size,
+)
 from repro.graphs.graph import Graph
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.obs.trace import span
@@ -175,6 +180,55 @@ class BatchStatisticsEngine:
         """The resolved name → callable mapping (kernel names included)."""
         return self._statistics
 
+    def _runs_anf_kernel(self, names) -> bool:
+        return (
+            self._use_kernels
+            and self._backend == "anf"
+            and any(name in DISTANCE_STATISTIC_NAMES for name in names)
+        )
+
+    def spec(self) -> tuple:
+        """Picklable resolved configuration (worker-side reconstruction).
+
+        Valid whenever the engine runs the registry family
+        (``statistics=None`` or a :class:`StatisticFamily`): a worker
+        rebuilding via :meth:`from_spec` gets callables and kernels
+        computing exactly what this engine's do.
+        """
+        return (
+            self._backend,
+            self._sample_size,
+            self._distance_seed,
+            self._anf_b,
+            self._powerlaw_d_min,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: tuple) -> "BatchStatisticsEngine":
+        backend, sample_size, distance_seed, anf_b, powerlaw_d_min = spec
+        return cls(
+            None,
+            distance_backend=backend,
+            sample_size=sample_size,
+            distance_seed=distance_seed,
+            anf_b=anf_b,
+            powerlaw_d_min=powerlaw_d_min,
+        )
+
+    def _shardable(self, names) -> bool:
+        """Can a worker reproduce this evaluation from :meth:`spec`?
+
+        Requires the kernel path (a registry family) and only
+        kernel-served names — opaque ``Graph → float`` callables are
+        not reconstructible from a config tuple, so batches carrying
+        them evaluate in the parent instead (correct, just serial).
+        """
+        return (
+            self._use_kernels
+            and not isinstance(self._distance_seed, np.random.Generator)
+            and all(name in BATCHED_STATISTIC_NAMES for name in names)
+        )
+
     # ------------------------------------------------------------------
     def evaluate(
         self,
@@ -210,22 +264,15 @@ class BatchStatisticsEngine:
             names = list(self._statistics)
         W = batch.num_worlds
         if chunk_size is None:
-            runs_anf_kernel = (
-                self._use_kernels
-                and self._backend == "anf"
-                and any(name in DISTANCE_STATISTIC_NAMES for name in names)
+            # The consolidated auto rule (repro.exec.plan): ~2 MB ANF
+            # register stack when a stacked diffusion will run, ~32 MB
+            # unpacked keep matrix otherwise, always >= 1.
+            chunk_size = world_eval_chunk_size(
+                batch.num_vertices,
+                batch.num_candidate_pairs,
+                anf=self._runs_anf_kernel(names),
+                anf_b=self._anf_b,
             )
-            if runs_anf_kernel:
-                # keep each slice's (W·n, 2^b) register stack around ~2 MB
-                chunk_size = max(
-                    1, (2 << 20) // max(batch.num_vertices << self._anf_b, 1)
-                )
-            else:
-                # bound the per-slice unpacked keep matrix (W × m bools)
-                # to ~32 MB — the only W-proportional transient left
-                chunk_size = max(
-                    1, (32 << 20) // max(batch.num_candidate_pairs, 1)
-                )
         _EVAL_WORLDS.add(W)
         if W > chunk_size:
             with span("worlds.evaluate", worlds=W, chunk_size=chunk_size):
@@ -253,6 +300,7 @@ class BatchStatisticsEngine:
         names: list[str] | None = None,
         *,
         chunk_size: int | None = None,
+        executor=None,
     ) -> dict[str, np.ndarray]:
         """Per-world values over an *iterable* of batches, concatenated.
 
@@ -272,15 +320,57 @@ class BatchStatisticsEngine:
             generator).  Consumed once.
         names, chunk_size:
             As for :meth:`evaluate`.
+        executor:
+            Optional :class:`~repro.exec.executor.ChunkExecutor`.  With
+            a process backend, batches are *drawn* in the parent (so
+            the RNG stream is consumed exactly as the serial path
+            consumes it) and *evaluated* in workers, a bounded wave at
+            a time — concatenated values stay bit-identical to the
+            serial loop because worlds never interact and evaluation is
+            chunking-invariant (both pinned by tests).
         """
         if names is None:
             names = list(self._statistics)
+        parallel = (
+            executor is not None
+            and getattr(executor, "backend", "serial") == "process"
+            and self._shardable(names)
+        )
         parts: dict[str, list[np.ndarray]] = {name: [] for name in names}
-        for batch in batches:
-            _STREAM_BATCHES.add(1)
-            chunk, _ = self.evaluate(batch, names, chunk_size=chunk_size)
-            for name in names:
-                parts[name].append(chunk[name])
+        if parallel:
+            spec = self.spec()
+            wave_size = max(1, 2 * executor.workers)
+            wave: list = []
+
+            def flush():
+                for values in executor.map(_eval_batch_task, wave):
+                    for name in names:
+                        parts[name].append(values[name])
+                wave.clear()
+
+            for batch in batches:
+                _STREAM_BATCHES.add(1)
+                wave.append(
+                    (
+                        spec,
+                        list(names),
+                        batch.packed_bits,
+                        batch._us,
+                        batch._vs,
+                        batch.num_vertices,
+                        batch.num_candidate_pairs,
+                        chunk_size,
+                    )
+                )
+                if len(wave) >= wave_size:
+                    flush()
+            flush()
+        else:
+            for batch in batches:
+                _STREAM_BATCHES.add(1)
+                chunk, _ = self.evaluate(batch, names, chunk_size=chunk_size)
+                for name in names:
+                    parts[name].append(chunk[name])
         return {
             name: (
                 np.concatenate(parts[name])
@@ -366,6 +456,50 @@ class BatchStatisticsEngine:
         return out
 
 
+# ----------------------------------------------------------------------
+# worker-side task functions (module-level: shipped by reference)
+# ----------------------------------------------------------------------
+#: Worker-local engine memo — a pool worker serves many chunks of the
+#: same run, and the engine (family callables, histogram cache) is
+#: reconstructible from its spec alone.
+_ENGINE_MEMO: dict[tuple, BatchStatisticsEngine] = {}
+
+
+def _engine_from_spec(spec: tuple) -> BatchStatisticsEngine:
+    engine = _ENGINE_MEMO.get(spec)
+    if engine is None:
+        engine = _ENGINE_MEMO[spec] = BatchStatisticsEngine.from_spec(spec)
+    return engine
+
+
+def _eval_batch_task(arg, shared):
+    """Evaluate one self-contained batch (stream path: arrays pickled)."""
+    spec, names, packed, us, vs, n, num_pairs, chunk_size = arg
+    batch = WorldBatch(n, us, vs, packed, num_pairs)
+    values, _ = _engine_from_spec(spec).evaluate(
+        batch, names, chunk_size=chunk_size
+    )
+    return values
+
+
+def _eval_worlds_task(arg, shared):
+    """Evaluate one world chunk against the shared candidate arrays.
+
+    ``shared`` carries the endpoint arrays and the parent's sorted
+    union incidence (built once, exported read-only), so the worker
+    pays neither a pickle of the pair set nor a per-process lexsort.
+    """
+    from repro.worlds.batch import _UnionIncidence
+
+    spec, names, packed, n, num_pairs = arg
+    batch = WorldBatch(n, shared["us"], shared["vs"], packed, num_pairs)
+    batch._union_cell[0] = _UnionIncidence.from_sorted(
+        shared["union_heads"], shared["union_tails"], shared["union_pair"]
+    )
+    values, _ = _engine_from_spec(spec).evaluate(batch, names)
+    return values
+
+
 class BatchedWorldStatisticsEstimator:
     """Evaluate statistics over possible worlds, a batch at a time.
 
@@ -381,6 +515,12 @@ class BatchedWorldStatisticsEstimator:
         Worlds sampled and evaluated per pass — the memory bound.  The
         RNG stream is consumed identically for every chunking, so
         results do not depend on this knob.
+    executor:
+        Optional :class:`~repro.exec.executor.ChunkExecutor`.  With a
+        process backend, the parent draws every world's keep bits (the
+        exact serial stream) and workers evaluate world chunks against
+        shared-memory candidate arrays; per-world values are
+        bit-identical to the serial loop (pinned by ``tests/exec``).
     """
 
     _UNSET = _UNSET
@@ -390,7 +530,8 @@ class BatchedWorldStatisticsEstimator:
         uncertain: UncertainGraph,
         statistics: Mapping[str, Callable[[Graph], float]] | None = None,
         *,
-        chunk_size: int = 32,
+        chunk_size: int = SAMPLE_CHUNK_DEFAULT,
+        executor=None,
         **engine_options,
     ):
         if chunk_size < 1:
@@ -399,6 +540,7 @@ class BatchedWorldStatisticsEstimator:
         self._uncertain = uncertain
         self._statistics = self._engine.statistics
         self._chunk_size = chunk_size
+        self._executor = executor
         self.last_worlds: list[Graph] = []
 
     # ------------------------------------------------------------------
@@ -414,13 +556,28 @@ class BatchedWorldStatisticsEstimator:
             raise ValueError(f"need at least one world, got {worlds}")
         rng = as_rng(seed)
         names = list(self._statistics)
+        executor = self._executor
+        if (
+            executor is not None
+            and getattr(executor, "backend", "serial") == "process"
+            and not collect_worlds
+            and self._engine._shardable(names)
+        ):
+            return self._run_sharded(worlds, rng, names, executor)
         values = {name: np.empty(worlds, dtype=np.float64) for name in names}
         self.last_worlds = []
         done = 0
+        # One union-incidence cell threaded across every chunk: batches
+        # sampled from one uncertain graph share the candidate pair
+        # arrays (pair_arrays is cached), so the incidence lexsort is
+        # paid once per run, not once per 32-world chunk.
+        union_cell: list = [None]
         with span("worlds.run", worlds=worlds, chunk_size=self._chunk_size):
             while done < worlds:
                 count = min(self._chunk_size, worlds - done)
-                batch = WorldBatch.sample(self._uncertain, count, seed=rng)
+                batch = WorldBatch.sample(
+                    self._uncertain, count, seed=rng, union_cell=union_cell
+                )
                 chunk, graphs = self._engine.evaluate(
                     batch, names, collect_worlds=collect_worlds
                 )
@@ -429,6 +586,60 @@ class BatchedWorldStatisticsEstimator:
                 for name in names:
                     values[name][done : done + count] = chunk[name]
                 done += count
+        return {
+            name: SampleSummary(name=name, values=values[name]) for name in names
+        }
+
+    def _run_sharded(
+        self, worlds: int, rng, names: list[str], executor
+    ) -> dict[str, SampleSummary]:
+        """The process-backend path: parent samples, workers evaluate.
+
+        The parent draws *all* packed keep bits in one pass — C-order
+        row fill means the stream positions equal the serial chunked
+        loop's — builds the sorted union incidence once, exports both
+        to shared memory, and dispatches evaluation-grain world chunks
+        (the same consolidated auto rule serial slicing uses).  Because
+        evaluation is bitwise chunking-invariant and results return in
+        chunk order, the concatenated values equal the serial loop's
+        bit for bit.
+        """
+        engine = self._engine
+        batch = WorldBatch.sample(self._uncertain, worlds, seed=rng)
+        union = batch.union_incidence()
+        plan = ChunkPlan.worlds(
+            worlds,
+            num_vertices=batch.num_vertices,
+            num_candidate_pairs=batch.num_candidate_pairs,
+            anf=engine._runs_anf_kernel(names),
+            anf_b=engine._anf_b,
+        )
+        spec = engine.spec()
+        packed = batch.packed_bits
+        tasks = [
+            (spec, list(names), packed[c.lo : c.hi], batch.num_vertices,
+             batch.num_candidate_pairs)
+            for c in plan
+        ]
+        shared = {
+            "us": batch._us,
+            "vs": batch._vs,
+            "union_heads": union.heads,
+            "union_tails": union.tails,
+            "union_pair": union.pair,
+        }
+        self.last_worlds = []
+        with span(
+            "worlds.run",
+            worlds=worlds,
+            chunk_size=plan.chunk_size,
+            workers=executor.workers,
+        ):
+            chunks = executor.map(_eval_worlds_task, tasks, shared=shared)
+        values = {
+            name: np.concatenate([chunk[name] for chunk in chunks])
+            for name in names
+        }
         return {
             name: SampleSummary(name=name, values=values[name]) for name in names
         }

@@ -42,6 +42,7 @@ from repro.baselines.randomization import (
     _keep_mask,
     sample_added_pairs,
 )
+from repro.exec.plan import RELEASE_CHUNK_DEFAULT
 from repro.graphs.graph import Graph
 from repro.obs.metrics import REGISTRY as _OBS
 from repro.utils.rng import as_rng
@@ -213,7 +214,7 @@ def stream_releases(
     worlds: int,
     *,
     seed=None,
-    chunk_size: int = 32,
+    chunk_size: int = RELEASE_CHUNK_DEFAULT,
 ):
     """Yield the releases of :func:`sample_releases` as bounded chunks.
 
