@@ -49,6 +49,11 @@ TOLERANCE = 1.15
 #: Tracing-enabled wall clock may be at worst 1.05x the disabled run.
 TRACE_OVERHEAD_BUDGET = 1.05
 
+#: With fault hooks present but no plan firing, wall clock may be at
+#: worst 1.05x a run on the same code path — the fault sites promise to
+#: be one module-global read when disarmed.
+FAULT_OVERHEAD_BUDGET = 1.05
+
 #: Sharded world evaluation at 2 workers must beat serial by this factor
 #: on the smoke grid (skipped on single-core hosts, where the process
 #: backend cannot physically win).
@@ -135,6 +140,61 @@ def trace_overhead(rounds: int = 5) -> int:
         )
         return 1
     print(f"\ntrace overhead gate passed (best of {rounds})")
+    return 0
+
+
+def fault_overhead(rounds: int = 5) -> int:
+    """Gate the disarmed cost of the fault-injection sites.
+
+    Requires ``PYTHONPATH=src``.  Runs the pinned obfuscation workload
+    twice per round, interleaved best-of-N: once with no fault plan at
+    all, once with a plan *installed* whose single rule can never fire
+    (a site name nothing calls).  The installed-but-inert case is the
+    worst production-relevant path — every ``fault_point`` call walks
+    its rule list — and the gate pins it at ≤5% over the no-plan path.
+    """
+    from repro.core.search import obfuscate
+    from repro.graphs.datasets import dblp_like
+    from repro.resilience import FaultPlan, FaultRule, install_fault_plan
+
+    graph = dblp_like(scale=0.15, seed=0)
+    inert_plan = FaultPlan(rules=(
+        FaultRule(site="never.fires", action="flag", attempts=None),
+    ))
+
+    def run() -> None:
+        obfuscate(graph, k=10, eps=0.1, seed=0, attempts=2, delta=0.05)
+
+    install_fault_plan(None)
+    run()  # warm-up
+    best_off = best_on = float("inf")
+    try:
+        for _ in range(rounds):
+            install_fault_plan(None)
+            t0 = time.perf_counter()
+            run()
+            best_off = min(best_off, time.perf_counter() - t0)
+            install_fault_plan(inert_plan)
+            t0 = time.perf_counter()
+            run()
+            best_on = min(best_on, time.perf_counter() - t0)
+    finally:
+        install_fault_plan(None)
+    ratio = best_on / best_off
+    verdict = "ok" if ratio <= FAULT_OVERHEAD_BUDGET else "REGRESSION"
+    print(
+        f"{verdict:>10}  fault-hook overhead: inert plan {best_on * 1e3:.1f} ms "
+        f"vs no plan {best_off * 1e3:.1f} ms "
+        f"(ratio {ratio:.3f}, budget {FAULT_OVERHEAD_BUDGET:.2f})"
+    )
+    if ratio > FAULT_OVERHEAD_BUDGET:
+        print(
+            f"fault overhead gate FAILED: disarmed fault sites cost "
+            f"{(ratio - 1) * 100:.1f}% (> {(FAULT_OVERHEAD_BUDGET - 1) * 100:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nfault overhead gate passed (best of {rounds})")
     return 0
 
 
@@ -277,6 +337,11 @@ if __name__ == "__main__":
         help="gate live-tracing overhead instead of the CSV ratio floors",
     )
     _parser.add_argument(
+        "--fault-overhead",
+        action="store_true",
+        help="gate the disarmed cost of fault-injection sites (≤5%%)",
+    )
+    _parser.add_argument(
         "--exec-speedup",
         action="store_true",
         help="gate sharded-vs-serial world evaluation (skips on 1-core hosts)",
@@ -290,6 +355,8 @@ if __name__ == "__main__":
     _args = _parser.parse_args()
     if _args.trace_overhead:
         sys.exit(trace_overhead(_args.rounds))
+    if _args.fault_overhead:
+        sys.exit(fault_overhead(_args.rounds))
     if _args.exec_speedup:
         sys.exit(exec_speedup(min(_args.rounds, 3), _args.workers))
     sys.exit(main())

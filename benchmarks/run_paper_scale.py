@@ -17,13 +17,24 @@ Usage::
 (k = 20, ε = 10⁻³) Table-2 cell and a reduced world count, writing
 ``paper_scale_smoke.csv`` instead so the committed full-scale numbers
 are never overwritten by a CI run.
+
+Interruptibility: with ``--checkpoint DIR`` every finished grid cell is
+persisted atomically the moment it completes, SIGINT/SIGTERM exit
+cleanly with a resume hint, and ``--resume`` skips the recorded cells —
+producing a ``<stem>_results.csv`` byte-identical to an uninterrupted
+run (the main CSV keeps wall-clock columns and is therefore excluded
+from the byte-identity contract).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
+import sys
 import time
 from pathlib import Path
+
+from repro.resilience import CheckpointStore
 
 from repro.exec import make_executor
 from repro.experiments.config import ExperimentConfig
@@ -71,10 +82,21 @@ def parse_args() -> argparse.Namespace:
                         help="dataset .npz cache directory")
     parser.add_argument("--out", type=Path, default=None,
                         help="output CSV (default results/paper_scale[_smoke].csv)")
-    return parser.parse_args()
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="directory for atomic per-cell checkpoint records")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already recorded in --checkpoint "
+                        "(byte-identical outputs to an uninterrupted run)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-cell wall-clock budget (seconds) before the "
+                        "hung-worker watchdog respawns the pool and retries")
+    args = parser.parse_args()
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    return args
 
 
-def main() -> None:
+def main() -> int:
     args = parse_args()
     scale = args.scale if args.scale is not None else (0.1 if args.smoke else 1.0)
     worlds = args.worlds if args.worlds is not None else (20 if args.smoke else 100)
@@ -86,6 +108,58 @@ def main() -> None:
         "paper_scale_smoke.csv" if args.smoke else "paper_scale.csv"
     )
 
+    checkpoint = None
+    restored_cells = 0
+    if args.checkpoint is not None:
+        checkpoint = CheckpointStore(args.checkpoint)
+        try:
+            checkpoint.begin(
+                {
+                    "command": "run_paper_scale",
+                    "dataset": "dblp",
+                    "scale": scale,
+                    "worlds": worlds,
+                    "k_values": list(k_values),
+                    "eps_values": list(eps_values),
+                    "seed": args.seed,
+                },
+                resume=args.resume,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        restored_cells = len(checkpoint)
+        if args.resume and restored_cells:
+            print(f"resuming: {restored_cells} cell(s) restored from {args.checkpoint}")
+
+    # SIGTERM behaves like SIGINT: the per-cell checkpoint records are
+    # already flushed atomically as cells complete, so a clean unwind
+    # (pool teardown, shm unlink) is all the handler needs to trigger.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+
+    try:
+        return _run(args, scale, worlds, k_values, eps_values, out, checkpoint, restored_cells)
+    except KeyboardInterrupt:
+        disable_tracing()
+        print("", file=sys.stderr)
+        if checkpoint is not None:
+            print(
+                f"interrupted; {len(checkpoint)} cell(s) checkpointed under "
+                f"{args.checkpoint} — rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted (no --checkpoint: a rerun starts from zero)",
+                file=sys.stderr,
+            )
+        return 130
+
+
+def _run(args, scale, worlds, k_values, eps_values, out, checkpoint, restored_cells) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     tracer = enable_tracing(out.parent / (out.stem + "_trace.jsonl"))
     t0 = time.perf_counter()
@@ -115,7 +189,11 @@ def main() -> None:
 
     import os
 
-    executor = make_executor(args.workers)
+    # Quarantine keeps a poisoned cell from aborting a 52-minute grid:
+    # it lands as a flagged nan row and exec.poisoned in the manifest.
+    executor = make_executor(
+        args.workers, task_timeout_s=args.task_timeout, quarantine=True
+    )
     rows: list[dict] = []
     meta = {
         "table": "meta",
@@ -130,7 +208,7 @@ def main() -> None:
     }
 
     with span("table2", worlds=worlds) as sp_sweep:
-        sweep = run_obfuscation_sweep(config, executor=executor)
+        sweep = run_obfuscation_sweep(config, executor=executor, checkpoint=checkpoint)
     t_sweep = sp_sweep.wall_s
     meta["table2_sec"] = round(t_sweep, 2)
     meta["table2_peak_rss_mb"] = round(peak_rss_mb(), 1)
@@ -141,7 +219,9 @@ def main() -> None:
 
     with span("table4", worlds=worlds) as sp_util:
         utility_sweep = [e for e in sweep if e.paper_eps == min(eps_values)]
-        t4_rows = table4_rows(utility_sweep, config, cache={}, executor=executor)
+        t4_rows = table4_rows(
+            utility_sweep, config, cache={}, executor=executor, checkpoint=checkpoint
+        )
     t_util = sp_util.wall_s
     meta["table4_sec"] = round(t_util, 2)
     meta["table4_peak_rss_mb"] = round(peak_rss_mb(), 1)
@@ -149,8 +229,15 @@ def main() -> None:
     print(f"[table4] {t_util:.1f}s, peak {peak_rss_mb():.0f} MiB")
     rows.extend({"table": "table4", **r} for r in t4_rows)
 
+    # The deterministic receipt: table rows only, no wall-clock columns —
+    # this is the file the interrupted-then-resumed byte-identity pin
+    # compares against an uninterrupted golden run.
+    save_csv(rows, out.parent / (out.stem + "_results.csv"))
+
     meta["total_sec"] = round(time.perf_counter() - t0, 2)
     meta["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    meta["resumed"] = bool(args.resume)
+    meta["cells_restored"] = restored_cells
     rows.append(meta)
     RESULTS_DIR.mkdir(exist_ok=True)
     save_csv(rows, out)
@@ -166,6 +253,10 @@ def main() -> None:
             "eps_values": list(eps_values),
             "smoke": bool(args.smoke),
             "workers": args.workers,
+            "checkpoint": args.checkpoint,
+            "resumed": bool(args.resume),
+            "cells_restored": restored_cells,
+            "task_timeout_s": args.task_timeout,
         },
         seed=args.seed,
         tracer=tracer,
@@ -174,7 +265,8 @@ def main() -> None:
     )
     write_manifest(out.parent / (out.stem + "_manifest.json"), manifest)
     print(f"wrote {out} (total {meta['total_sec']}s, peak {meta['peak_rss_mb']} MiB)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -228,6 +228,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--window-ms", type=float, default=2.0,
         help="query-coalescing window in milliseconds",
     )
+    p.add_argument(
+        "--max-queue", type=int, default=4096,
+        help="bound on queued queries; beyond it requests are shed with "
+        "an 'overloaded' error and a retry-after hint",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="close connections idle for this many seconds (0 disables)",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -404,6 +413,7 @@ def _cmd_serve(args) -> int:
     # Imported lazily: the serving layer pulls in asyncio plumbing the
     # batch-oriented subcommands never need.
     import asyncio
+    import signal
 
     from repro.serve import ObfuscationServer, QueryEngine
 
@@ -411,7 +421,12 @@ def _cmd_serve(args) -> int:
         release = read_uncertain_graph(args.release)
     engine = QueryEngine(release, worlds=args.worlds, seed=args.seed)
     server = ObfuscationServer(
-        engine, host=args.host, port=args.port, window_ms=args.window_ms
+        engine,
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_queue=args.max_queue,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
     )
     print(
         f"loaded {args.release}: n={release.num_vertices} "
@@ -421,10 +436,18 @@ def _cmd_serve(args) -> int:
     async def run() -> None:
         await server.start()
         print(f"listening on {server.host}:{server.port}", flush=True)
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # SIGTERM drains gracefully like ctrl-C: stop accepting, answer
+        # every accepted query, then exit.
         try:
-            await asyncio.Event().wait()  # until KeyboardInterrupt
+            loop.add_signal_handler(signal.SIGTERM, stopping.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loop
+            pass
+        try:
+            await stopping.wait()  # until SIGTERM or KeyboardInterrupt
         finally:
-            await server.stop()
+            await server.stop()  # drains queue + in-flight window
 
     try:
         asyncio.run(run())

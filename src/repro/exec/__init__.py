@@ -23,7 +23,14 @@ to ``run_obfuscation_sweep`` / ``evaluate_utility`` /
 ``BatchStatisticsEngine.evaluate_stream`` / ``degree_posterior_matrix_sharded``.
 """
 
-from repro.exec.executor import ChunkExecutor, effective_workers, make_executor
+from repro.exec.executor import (
+    ChunkExecutor,
+    TaskFailure,
+    TaskTimeoutError,
+    WorkerLostError,
+    effective_workers,
+    make_executor,
+)
 from repro.exec.plan import (
     ANF_REGISTER_STACK_BYTES,
     KEEP_MATRIX_BYTES,
@@ -50,6 +57,9 @@ __all__ = [
     "ChunkExecutor",
     "ChunkPlan",
     "SharedArrayPack",
+    "TaskFailure",
+    "TaskTimeoutError",
+    "WorkerLostError",
     "attach_shared",
     "draw_rows_per_pass",
     "effective_workers",

@@ -37,6 +37,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.resilience.faults import fault_point
+
 __all__ = ["SharedArrayPack", "attach_shared"]
 
 
@@ -129,6 +131,9 @@ def attach_shared(descriptor: dict | None) -> dict[str, np.ndarray] | None:
     global _CACHED
     if descriptor is None:
         return None
+    # Chaos site: a delay here widens the attach-vs-unlink race the
+    # executor's retry path must absorb (FileNotFoundError → re-run).
+    fault_point("exec.shm.attach", key=descriptor["uid"])
     if _CACHED is None or _CACHED.uid != descriptor["uid"]:
         if _CACHED is not None:
             _CACHED.close()

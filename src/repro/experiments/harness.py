@@ -9,18 +9,20 @@ throughput "of the same experiments").
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.core.search import obfuscate_with_fallback
-from repro.core.types import ObfuscationResult
+from repro.core.types import ObfuscationParams, ObfuscationResult
+from repro.exec.executor import TaskFailure
 from repro.exec.plan import ChunkPlan
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.graph import Graph
 from repro.obs.trace import span
 from repro.stats.registry import PAPER_STATISTIC_NAMES, paper_statistics
 from repro.stats.sampling import SampleSummary, WorldStatisticsEstimator
+from repro.uncertain.graph import UncertainGraph
 from repro.utils.rng import spawn_seed_sequences
 
 _log = logging.getLogger("repro.experiments.harness")
@@ -84,11 +86,75 @@ def _sweep_cell_task(arg, shared) -> ObfuscationResult:
     return result
 
 
+# ----------------------------------------------------------------------
+# checkpoint (de)serialisation: exact ObfuscationResult round-trips
+# ----------------------------------------------------------------------
+
+def _sweep_cell_key(dataset: str, k: int, paper_eps: float) -> str:
+    return f"sweep:{dataset}:k={k}:eps={paper_eps!r}"
+
+
+def _result_to_checkpoint(result: ObfuscationResult):
+    """``(payload, arrays)`` for a finished sweep cell.
+
+    Scalars ride JSON (exact float round-trip), the uncertain graph's
+    pair arrays ride ``.npz`` — a restored cell reproduces table rows
+    and downstream world sampling bit for bit.  The search ``trace`` is
+    dropped: no table reads it.
+    """
+    payload = {
+        "sigma": result.sigma,
+        "eps_achieved": result.eps_achieved,
+        "params": asdict(result.params),
+        "edges_processed": int(result.edges_processed),
+        "rows_folded": int(result.rows_folded),
+        "rows_recomputed": int(result.rows_recomputed),
+        "elapsed_seconds": result.elapsed_seconds,
+        "n": None,
+    }
+    arrays = None
+    if result.uncertain is not None:
+        us, vs, ps = result.uncertain.pair_arrays()
+        payload["n"] = int(result.uncertain.num_vertices)
+        arrays = {"us": us, "vs": vs, "ps": ps}
+    return payload, arrays
+
+
+def _result_from_checkpoint(payload: dict, arrays: dict) -> ObfuscationResult:
+    uncertain = None
+    if payload.get("n") is not None:
+        uncertain = UncertainGraph._from_trusted_arrays(
+            int(payload["n"]), arrays["us"], arrays["vs"], arrays["ps"]
+        )
+    return ObfuscationResult(
+        uncertain=uncertain,
+        sigma=payload["sigma"],
+        eps_achieved=payload["eps_achieved"],
+        params=ObfuscationParams(**payload["params"]),
+        edges_processed=payload["edges_processed"],
+        rows_folded=payload["rows_folded"],
+        rows_recomputed=payload["rows_recomputed"],
+        elapsed_seconds=payload["elapsed_seconds"],
+    )
+
+
+def _poisoned_result(k: int, eps_used: float, failure: TaskFailure) -> ObfuscationResult:
+    """The flagged stand-in for a quarantined (poisoned) grid cell."""
+    _log.error("sweep cell %d quarantined: %s", failure.index, failure.error)
+    return ObfuscationResult(
+        uncertain=None,
+        sigma=float("nan"),
+        eps_achieved=float("inf"),
+        params=ObfuscationParams(k=k, eps=eps_used),
+    )
+
+
 def run_obfuscation_sweep(
     config: ExperimentConfig,
     *,
     eps_values: tuple[float, ...] | None = None,
     executor=None,
+    checkpoint=None,
 ) -> list[SweepEntry]:
     """Run Algorithm 1 for every (dataset, k, ε) combination.
 
@@ -104,6 +170,14 @@ def run_obfuscation_sweep(
         stream), so a process backend runs them across workers; entries
         come back in the paper's row order with values bit-identical to
         the serial loop.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointStore`.
+        Each finished cell is recorded atomically *as it completes* (so
+        an interrupt keeps the finished prefix) and already-recorded
+        cells are restored instead of recomputed — bit-identically,
+        because every cell's seed child is a pure function of its grid
+        index.  Quarantined (poisoned) cells are *not* recorded: a
+        resumed run retries them.
 
     Returns
     -------
@@ -140,6 +214,29 @@ def run_obfuscation_sweep(
             )
         )
     assert len(plan) == len(tasks)
+    restored: dict[int, ObfuscationResult] = {}
+    if checkpoint is not None:
+        for i, (dataset, k, paper_eps) in enumerate(cells):
+            rec = checkpoint.restore(_sweep_cell_key(dataset, k, paper_eps))
+            if rec is not None:
+                restored[i] = _result_from_checkpoint(*rec)
+        if restored:
+            _log.info("sweep: restored %d/%d cells from checkpoint",
+                      len(restored), len(cells))
+    pending = [i for i in range(len(cells)) if i not in restored]
+    pending_tasks = [tasks[i] for i in pending]
+
+    def _record(j: int, value) -> None:
+        # In-order per-cell checkpoint hook: flushed atomically before
+        # the next cell's result is accepted, so an interrupt at any
+        # point keeps every finished cell.
+        if checkpoint is None or isinstance(value, TaskFailure):
+            return
+        i = pending[j]
+        dataset, k, paper_eps = cells[i]
+        payload, arrays = _result_to_checkpoint(value)
+        checkpoint.record(_sweep_cell_key(dataset, k, paper_eps), payload, arrays)
+
     global _GRAPH_MEMO
     if executor is not None and getattr(executor, "backend", "serial") == "process":
         # The config (it caches Graph objects) never crosses the pickle
@@ -149,16 +246,35 @@ def run_obfuscation_sweep(
             f"edges:{dataset}": graph.edge_array()
             for dataset, graph in graphs.items()
         }
-        results = executor.map(_sweep_cell_task, tasks, shared=shared)
+        results = executor.map(
+            _sweep_cell_task, pending_tasks, shared=shared, on_result=_record
+        )
     else:
         # Serial: hand the task the parent's own Graph objects by
         # prefilling the memo against a sentinel dict.
         shared = {}
         _GRAPH_MEMO = (shared, dict(graphs))
-        results = [_sweep_cell_task(task, shared) for task in tasks]
-        _GRAPH_MEMO = None
+        try:
+            if executor is not None:
+                results = executor.map(
+                    _sweep_cell_task, pending_tasks, shared=shared,
+                    on_result=_record,
+                )
+            else:
+                results = []
+                for j, task in enumerate(pending_tasks):
+                    value = _sweep_cell_task(task, shared)
+                    _record(j, value)
+                    results.append(value)
+        finally:
+            _GRAPH_MEMO = None
+    values: list = [restored.get(i) for i in range(len(cells))]
+    for j, i in enumerate(pending):
+        values[i] = results[j]
     entries: list[SweepEntry] = []
-    for (dataset, k, paper_eps), task, result in zip(cells, tasks, results):
+    for (dataset, k, paper_eps), task, result in zip(cells, tasks, values):
+        if isinstance(result, TaskFailure):
+            result = _poisoned_result(task[1], task[3], result)
         if not result.success:
             _log.warning(
                 "sweep cell %s k=%d eps=%g failed at every c in %s",
@@ -215,12 +331,20 @@ def _original_statistics(graph: Graph, config: ExperimentConfig) -> dict[str, fl
     return {name: float(func(graph)) for name, func in stats.items()}
 
 
+def _utility_cell_key(entry: SweepEntry, config: ExperimentConfig) -> str:
+    return (
+        f"utility:{entry.dataset}:k={entry.k}:eps={entry.paper_eps!r}"
+        f":worlds={config.worlds}:seed={config.seed}"
+    )
+
+
 def evaluate_utility(
     entry: SweepEntry,
     config: ExperimentConfig,
     *,
     cache: dict | None = None,
     executor=None,
+    checkpoint=None,
 ) -> dict[str, SampleSummary]:
     """Sample ``config.worlds`` possible worlds and summarise all statistics.
 
@@ -229,11 +353,27 @@ def evaluate_utility(
     sampling pass, as the paper's tables do.  ``executor`` (batched
     backend only) shards world evaluation across processes — the parent
     draws every world, so summaries stay bit-identical to serial.
+    ``checkpoint`` records each cell's raw per-world statistic values
+    (exactly, via ``.npz``) and restores them on resume instead of
+    re-sampling.
     """
     assert entry.result.uncertain is not None, "cannot evaluate a failed cell"
     key = (entry.dataset, entry.k, entry.paper_eps)
     if cache is not None and key in cache:
         return cache[key]
+    if checkpoint is not None:
+        rec = checkpoint.restore(_utility_cell_key(entry, config))
+        if rec is not None:
+            payload, arrays = rec
+            summaries = {
+                name: SampleSummary(name, arrays[name]) for name in payload["names"]
+            }
+            _log.info(
+                "utility %s k=%d: restored from checkpoint", entry.dataset, entry.k
+            )
+            if cache is not None:
+                cache[key] = summaries
+            return summaries
     stats = paper_statistics(
         distance_backend=config.distance_backend, seed=config.seed
     )
@@ -265,6 +405,12 @@ def evaluate_utility(
         summaries = estimator.run(
             worlds=config.worlds, seed=(config.seed, entry.k)
         )
+    if checkpoint is not None:
+        checkpoint.record(
+            _utility_cell_key(entry, config),
+            {"names": list(summaries)},
+            {name: s.values for name, s in summaries.items()},
+        )
     if cache is not None:
         cache[key] = summaries
     return summaries
@@ -276,6 +422,7 @@ def table4_rows(
     *,
     cache: dict | None = None,
     executor=None,
+    checkpoint=None,
 ) -> list[dict]:
     """Table 4: sample means vs original values + average relative error.
 
@@ -297,7 +444,9 @@ def table4_rows(
                     {"dataset": dataset, "variant": f"k={e.k}", "rel_err": float("nan")}
                 )
                 continue
-            summaries = evaluate_utility(e, config, cache=cache, executor=executor)
+            summaries = evaluate_utility(
+                e, config, cache=cache, executor=executor, checkpoint=checkpoint
+            )
             rel_errors = []
             row: dict = {"dataset": dataset, "variant": f"k={e.k}"}
             for name in PAPER_STATISTIC_NAMES:
@@ -315,13 +464,16 @@ def table5_rows(
     *,
     cache: dict | None = None,
     executor=None,
+    checkpoint=None,
 ) -> list[dict]:
     """Table 5: relative sample SEM of every statistic per (dataset, k)."""
     rows: list[dict] = []
     for e in sweep:
         if not e.result.success:
             continue
-        summaries = evaluate_utility(e, config, cache=cache, executor=executor)
+        summaries = evaluate_utility(
+            e, config, cache=cache, executor=executor, checkpoint=checkpoint
+        )
         row: dict = {"dataset": e.dataset, "k": e.k}
         sems = []
         for name in PAPER_STATISTIC_NAMES:

@@ -20,6 +20,8 @@ Both are readable with ``repro trace <out-dir>``.
 from __future__ import annotations
 
 import argparse
+import signal
+import sys
 import time
 from pathlib import Path
 
@@ -47,6 +49,7 @@ from repro.obs import (
     span,
     write_manifest,
 )
+from repro.resilience import CheckpointStore
 
 
 def _parse_args(argv=None) -> argparse.Namespace:
@@ -81,7 +84,18 @@ def _parse_args(argv=None) -> argparse.Namespace:
                         help="processes for sweep cells and world/release "
                         "evaluation (0 = all cores); every table is "
                         "bit-identical at any worker count")
-    return parser.parse_args(argv)
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="directory for atomic per-cell checkpoint records")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already recorded in --checkpoint "
+                        "(tables stay byte-identical to an uninterrupted run)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-cell wall-clock budget (seconds) before the "
+                        "hung-worker watchdog respawns the pool and retries")
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    return args
 
 
 def run_all(args) -> None:
@@ -98,17 +112,40 @@ def run_all(args) -> None:
         seed=args.seed,
     )
     args.out.mkdir(parents=True, exist_ok=True)
+    checkpoint = None
+    restored_cells = 0
+    if getattr(args, "checkpoint", None) is not None:
+        checkpoint = CheckpointStore(args.checkpoint)
+        checkpoint.begin(
+            {
+                "command": "repro.experiments",
+                "datasets": list(config.datasets),
+                "k_values": list(config.k_values),
+                "eps_values": list(config.eps_values),
+                "scale": config.scale,
+                "worlds": config.worlds,
+                "seed": config.seed,
+            },
+            resume=bool(getattr(args, "resume", False)),
+        )
+        restored_cells = len(checkpoint)
+        if restored_cells:
+            print(f"# resuming: {restored_cells} cell(s) restored from {args.checkpoint}")
     tracer = enable_tracing(args.out / "trace.jsonl" if args.trace else None)
     t0 = time.perf_counter()
     from repro.exec import make_executor
 
-    executor = make_executor(getattr(args, "workers", 1))
+    executor = make_executor(
+        getattr(args, "workers", 1),
+        task_timeout_s=getattr(args, "task_timeout", None),
+        quarantine=True,
+    )
 
     print(f"# sweep: datasets={config.datasets} k={config.k_values} "
           f"eps={config.eps_values} scale={config.scale} "
           f"workers={executor.workers}")
     with span("sweep"):
-        sweep = run_obfuscation_sweep(config, executor=executor)
+        sweep = run_obfuscation_sweep(config, executor=executor, checkpoint=checkpoint)
     print(f"# sweep finished in {time.perf_counter() - t0:.1f}s\n")
 
     with span("tables_2_3"):
@@ -123,12 +160,16 @@ def run_all(args) -> None:
     strict = [e for e in sweep if e.paper_eps == min(config.eps_values)]
     cache: dict = {}
     with span("tables_4_5"):
-        rows4 = table4_rows(strict, config, cache=cache, executor=executor)
+        rows4 = table4_rows(
+            strict, config, cache=cache, executor=executor, checkpoint=checkpoint
+        )
         print(render_table(rows4, title="Table 4: sample means (strict eps)"))
         print()
         save_csv(rows4, args.out / "table4.csv")
 
-        rows5 = table5_rows(strict, config, cache=cache, executor=executor)
+        rows5 = table5_rows(
+            strict, config, cache=cache, executor=executor, checkpoint=checkpoint
+        )
         print(render_table(rows5, title="Table 5: relative sample SEM"))
         print()
         save_csv(rows5, args.out / "table5.csv")
@@ -181,12 +222,15 @@ def run_all(args) -> None:
             "attempts": config.attempts,
             "delta": config.delta,
             "workers": executor.workers,
+            "checkpoint": getattr(args, "checkpoint", None),
+            "resumed": bool(getattr(args, "resume", False)),
         },
         seed=args.seed,
         tracer=tracer,
         elapsed_s=elapsed,
         results={"cells": len(sweep),
-                 "failures": sum(not e.result.success for e in sweep)},
+                 "failures": sum(not e.result.success for e in sweep),
+                 "cells_restored": restored_cells},
     )
     write_manifest(args.out / "manifest.json", manifest)
     print(f"# total {elapsed:.1f}s; CSVs in {args.out}/")
@@ -196,7 +240,35 @@ def main(argv=None) -> int:
     """Entry point for ``python -m repro.experiments``."""
     args = _parse_args(argv)
     setup_logging(args.verbose, args.quiet)
-    run_all(args)
+
+    # SIGTERM unwinds like SIGINT; checkpoint records were flushed
+    # atomically as cells completed, so --resume picks up from there.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - called from a non-main thread
+        pass
+    try:
+        run_all(args)
+    except ValueError as exc:
+        if "refusing --resume" not in str(exc):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        disable_tracing()
+        if getattr(args, "checkpoint", None) is not None:
+            print(
+                f"# interrupted; checkpoint under {args.checkpoint} — "
+                "rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print("# interrupted (no --checkpoint: a rerun starts from zero)",
+                  file=sys.stderr)
+        return 130
     return 0
 
 

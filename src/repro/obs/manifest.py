@@ -39,6 +39,7 @@ from pathlib import Path
 
 from repro.obs.memory import peak_rss_mb
 from repro.obs.metrics import metrics_snapshot
+from repro.resilience.atomic import atomic_write_text
 
 __all__ = [
     "SCHEMA_ID",
@@ -143,19 +144,32 @@ def build_manifest(
 
 
 def write_manifest(path, manifest: dict) -> Path:
-    """Validate and write ``manifest`` as pretty-printed JSON."""
+    """Validate and write ``manifest`` as pretty-printed JSON.
+
+    The write is atomic (temp sibling + ``os.replace``): a crash while
+    publishing leaves the previous manifest, never a truncated one.
+    """
     errors = validate_manifest(manifest)
     if errors:
         raise ValueError(f"refusing to write invalid manifest: {errors}")
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=False) + "\n")
     return path
 
 
 def load_manifest(path) -> dict:
-    """Read and validate a manifest file; raises on schema violations."""
-    manifest = json.loads(Path(path).read_text())
+    """Read and validate a manifest file; raises on schema violations.
+
+    A file that is not even JSON — the signature of a torn write from a
+    crashed pre-atomic run — is rejected with a clear ``ValueError``
+    rather than a raw decode traceback.
+    """
+    try:
+        manifest = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: truncated or corrupt manifest (partial write?): {exc}"
+        ) from exc
     errors = validate_manifest(manifest)
     if errors:
         raise ValueError(f"{path}: invalid manifest: {errors}")

@@ -1,0 +1,54 @@
+"""Crash-safe file publication: write a temp sibling, then ``os.replace``.
+
+Every receipt the repo emits — ``manifest.json``, results CSVs,
+checkpoint records — goes through these two helpers, so a reader can
+never observe a half-written file: POSIX ``rename(2)`` within one
+directory is atomic, and the temp file lives *next to* the target (same
+filesystem) so the replace never degrades to a copy.
+
+A crash between the temp write and the replace leaves only a
+``.<name>.tmp-<pid>`` stray, never a truncated target.  The
+``io.atomic.truncate`` fault site simulates the *pre-fix* behaviour — a
+direct partial write to the final path followed by a crash — which is
+what ``repro trace``'s partial-manifest rejection is tested against.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.resilience.faults import FaultInjected, fault_point
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically (temp sibling + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fault_point("io.atomic.truncate", key=path.name):
+        # Simulated crash mid-write of a NON-atomic writer: half the
+        # payload lands at the final path, then the "process dies".
+        with open(path, "wb") as fh:
+            fh.write(data[: max(1, len(data) // 2)])
+        raise FaultInjected("io.atomic.truncate", path.name)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Publish ``text`` at ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,50 @@
+"""Deterministic retry budgets with seeded-jitter exponential backoff.
+
+One policy object serves both retry surfaces — the executor's task
+re-execution and the serve client's reconnect loop.  The backoff delay
+is a *pure function* of ``(seed, key, attempt)``: capped exponential
+growth scaled by a hashed jitter factor, no live RNG.  Two runs with
+the same seed sleep the same milliseconds; two concurrent keys spread
+out instead of thundering in phase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic jittered exponential backoff.
+
+    ``backoff_s(key, attempt)`` for attempt ``a`` lies in
+    ``[base * 2**a * (1 - jitter), base * 2**a]``, capped at
+    ``max_delay_s`` before jitter is applied.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, key, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based) of ``key``."""
+        raw = min(self.base_delay_s * (2.0**attempt), self.max_delay_s)
+        blob = f"{self.seed}|{key!r}|{attempt}".encode()
+        digest = hashlib.blake2b(blob, digest_size=8).digest()
+        unit = int.from_bytes(digest, "big") / 2**64
+        return raw * (1.0 - self.jitter * unit)
+
+    def allows(self, failures: int) -> bool:
+        """Whether a task that failed ``failures`` times may run again."""
+        return failures <= self.max_retries

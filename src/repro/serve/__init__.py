@@ -16,7 +16,7 @@ bit-identical to the sequential oracle in
 ``tests/serve/test_engine.py`` and the CI ``serve-smoke`` job).
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, ServeOverloadedError
 from repro.serve.engine import QueryEngine
 from repro.serve.protocol import (
     OPS,
@@ -33,6 +33,7 @@ __all__ = [
     "QueryEngine",
     "ServeClient",
     "ServeError",
+    "ServeOverloadedError",
     "encode_response",
     "parse_request",
 ]

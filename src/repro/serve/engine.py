@@ -290,6 +290,11 @@ class QueryEngine:
                 _ERRORS.add()
                 payloads[i] = {"error": str(exc)}
                 continue
+            if query.op == "health":
+                # The server answers health inline without queueing; this
+                # path covers direct engine use (tests, workload tools).
+                payloads[i] = {"result": {"status": "ok", "ready": True}}
+                continue
             if query.op == "degree":
                 value = float(self._expected_degrees[query.source])
                 payloads[i] = self._finish(query, value)

@@ -43,6 +43,7 @@ OPS: dict[str, tuple[str, ...]] = {
     "khop": ("source", "hops"),
     "distance": ("source", "target"),
     "knn": ("source", "k"),
+    "health": (),
 }
 
 #: optional integer fields accepted per op.
@@ -52,6 +53,7 @@ _OPTIONAL: dict[str, tuple[str, ...]] = {
     "khop": (),
     "distance": (),
     "knn": (),
+    "health": (),
 }
 
 
@@ -61,11 +63,12 @@ class Query:
 
     ``worlds``/``seed`` of ``None`` mean "engine defaults" — the engine
     resolves them before grouping, so equal effective sampling keys
-    coalesce whether they were spelled out or defaulted.
+    coalesce whether they were spelled out or defaulted.  ``source``
+    defaults to 0 for ops that take no vertex (``health``).
     """
 
     op: str
-    source: int
+    source: int = 0
     target: int | None = None
     k: int | None = None
     hops: int | None = None
@@ -83,8 +86,12 @@ def _require_int(obj: dict, field: str, *, minimum: int = 0) -> int:
     return value
 
 
-def parse_request(line: str | bytes) -> tuple[object, Query]:
-    """Parse one request line into ``(id, Query)``.
+def parse_request(line: str | bytes) -> tuple[object, Query, int | None]:
+    """Parse one request line into ``(id, Query, timeout_ms)``.
+
+    ``timeout_ms`` is the request's optional per-request deadline: the
+    server sheds the query (instead of answering late) once that many
+    milliseconds have passed since the request was read.
 
     Raises ``ValueError`` on malformed JSON, unknown ops, or missing /
     mistyped fields.  The caller still owns range-checking vertex ids
@@ -114,7 +121,10 @@ def parse_request(line: str | bytes) -> tuple[object, Query]:
             )
     if op == "knn" and fields["k"] < 1:
         raise ValueError(f"field 'k' must be >= 1, got {fields['k']}")
-    return obj.get("id"), Query(op=op, **fields)
+    timeout_ms = None
+    if obj.get("timeout_ms") is not None:
+        timeout_ms = _require_int(obj, "timeout_ms", minimum=1)
+    return obj.get("id"), Query(op=op, **fields), timeout_ms
 
 
 def _wire_number(value: float):
@@ -144,9 +154,15 @@ def wire_payload(query: Query, answer) -> dict:
 
 
 def encode_response(request_id, payload: dict) -> bytes:
-    """Encode one response line; ``payload`` comes from the engine."""
+    """Encode one response line; ``payload`` comes from the engine.
+
+    Error payloads may carry ``retry_after_ms`` — the load-shedding
+    hint clients use to back off before retrying an overloaded server.
+    """
     if "error" in payload:
         obj = {"id": request_id, "ok": False, "error": payload["error"]}
+        if payload.get("retry_after_ms") is not None:
+            obj["retry_after_ms"] = int(payload["retry_after_ms"])
     else:
         obj = {"id": request_id, "ok": True, "result": payload["result"]}
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
@@ -159,4 +175,7 @@ def decode_response(line: str | bytes) -> tuple[object, dict]:
         raise ValueError(f"malformed response line: {line!r}")
     if obj["ok"]:
         return obj.get("id"), {"result": obj["result"]}
-    return obj.get("id"), {"error": obj.get("error", "unknown error")}
+    payload = {"error": obj.get("error", "unknown error")}
+    if obj.get("retry_after_ms") is not None:
+        payload["retry_after_ms"] = obj["retry_after_ms"]
+    return obj.get("id"), payload

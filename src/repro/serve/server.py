@@ -4,7 +4,7 @@ Connection handling and kernel work are deliberately split:
 
 * each client connection gets a reader coroutine that parses line-JSON
   requests (:func:`repro.serve.protocol.parse_request`) and enqueues
-  ``(query, future)`` pairs on one shared queue;
+  ``(query, future, deadline)`` triples on one shared **bounded** queue;
 * a single dispatcher coroutine drains the queue in **coalescing
   windows**: after the first query arrives it keeps collecting for
   ``window_ms`` (or until ``max_window`` queries), then hands the whole
@@ -19,9 +19,28 @@ rises with concurrency instead of collapsing — the point of the batched
 kernels.  Coalescing changes *cost*, never answers (every payload is
 seed-pinned to the sequential oracle).
 
+Overload story (the resilience layer):
+
+* the dispatch queue is bounded (``max_queue``); when it is full new
+  queries are **shed** immediately with ``{"error": "overloaded",
+  "retry_after_ms": ...}`` instead of queueing unboundedly and hanging
+  every client behind a backlog the engine can never clear;
+* a request may carry ``timeout_ms``; queries whose deadline passes
+  while still queued are answered ``deadline exceeded`` at window-build
+  time rather than computed late for nobody;
+* ``health`` requests are answered inline by the reader — never queued —
+  so readiness checks work *especially* when the queue is full;
+* idle connections are closed after ``idle_timeout_s`` and one
+  oversized line is a protocol error, so a stuck or malicious client
+  cannot pin memory;
+* :meth:`stop` drains queued queries and the in-flight window before
+  cancelling the dispatcher (graceful shutdown), unless ``drain=False``.
+
 Protocol errors on a connection (malformed JSON, unknown op) produce an
 error response for that line and keep the connection open; EOF or
-transport errors close it quietly.
+transport errors close it quietly.  The ``serve.conn.drop`` fault site
+(chaos harness) aborts a connection mid-response-line to exercise
+client retry.
 """
 
 from __future__ import annotations
@@ -30,6 +49,7 @@ import asyncio
 import contextlib
 
 from repro.obs.metrics import REGISTRY as _OBS
+from repro.resilience.faults import fault_point
 from repro.serve.engine import QueryEngine
 from repro.serve.protocol import encode_response, parse_request
 
@@ -37,6 +57,9 @@ __all__ = ["ObfuscationServer"]
 
 _CONNECTIONS = _OBS.counter("serve.connections")
 _PROTOCOL_ERRORS = _OBS.counter("serve.protocol_errors")
+_SHED = _OBS.counter("serve.shed")
+_DEADLINE_SHED = _OBS.counter("serve.deadline_shed")
+_IDLE_CLOSED = _OBS.counter("serve.idle_closed")
 
 #: requests larger than this are protocol errors, not memory pressure.
 _MAX_LINE_BYTES = 1 << 20
@@ -58,6 +81,12 @@ class ObfuscationServer:
         coalesces whatever is already queued (zero added latency).
     max_window:
         Hard cap on queries per window.
+    max_queue:
+        Bound on queued-but-undispatched queries; beyond it new queries
+        are shed with an ``overloaded`` error + retry-after hint.
+    idle_timeout_s:
+        Close a connection that sends nothing for this long
+        (``None`` disables the idle reaper).
     """
 
     def __init__(
@@ -68,22 +97,28 @@ class ObfuscationServer:
         port: int = 0,
         window_ms: float = 2.0,
         max_window: int = 1024,
+        max_queue: int = 4096,
+        idle_timeout_s: float | None = 300.0,
     ):
         self.engine = engine
         self.host = host
         self.port = port
         self.window_s = max(0.0, window_ms) / 1000.0
         self.max_window = max(1, max_window)
+        self.max_queue = max(1, max_queue)
+        self.idle_timeout_s = idle_timeout_s
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._window_busy = False
+        self._conn_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind, start accepting, and launch the dispatcher."""
-        self._queue = asyncio.Queue()
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
@@ -93,17 +128,37 @@ class ObfuscationServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
-    async def stop(self) -> None:
-        """Stop accepting and cancel the dispatcher."""
+    async def stop(self, *, drain: bool = True, drain_timeout_s: float = 30.0) -> None:
+        """Stop accepting; drain in-flight work; cancel the dispatcher.
+
+        With ``drain=True`` (default) every query already accepted — in
+        the queue or in the window being executed — is answered before
+        the dispatcher dies; clients see responses, not resets.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain and self._queue is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + max(0.0, drain_timeout_s)
+            while (
+                (not self._queue.empty() or self._window_busy)
+                and loop.time() < deadline
+            ):
+                await asyncio.sleep(0.01)
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._dispatcher
             self._dispatcher = None
+        # Close lingering connection handlers so no coroutine outlives
+        # the loop (idle keep-alive clients, half-read pipelines).
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI entry point)."""
@@ -117,6 +172,23 @@ class ObfuscationServer:
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+    def _health_payload(self) -> dict:
+        queued = self._queue.qsize() if self._queue is not None else 0
+        return {
+            "result": {
+                "status": "ok",
+                "ready": queued < self.max_queue,
+                "queued": queued,
+                "max_queue": self.max_queue,
+            }
+        }
+
+    def _shed_payload(self) -> dict:
+        # Retry-after: one window is roughly what clearing a queue slot
+        # takes, so hint a couple of windows (floor 10 ms).
+        hint = max(10, int(self.window_s * 2000))
+        return {"error": "overloaded", "retry_after_ms": hint}
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -129,61 +201,94 @@ class ObfuscationServer:
         under ``write_lock``).
         """
         _CONNECTIONS.add()
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
         write_lock = asyncio.Lock()
         responders: set[asyncio.Task] = set()
 
-        async def respond(request_id, query) -> None:
-            future: asyncio.Future = asyncio.get_running_loop().create_future()
-            await self._queue.put((query, future))
-            payload = await future
+        async def send(request_id, payload) -> None:
+            data = encode_response(request_id, payload)
             async with write_lock:
-                writer.write(encode_response(request_id, payload))
+                if fault_point("serve.conn.drop"):
+                    # Chaos: cut the connection mid-line — clients must
+                    # treat the torn tail as a dead server and retry.
+                    writer.write(data[: max(1, len(data) // 2)])
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                    writer.transport.abort()
+                    return
+                writer.write(data)
                 await writer.drain()
+
+        async def respond(request_id, query, deadline) -> None:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            try:
+                self._queue.put_nowait((query, future, deadline))
+            except asyncio.QueueFull:
+                _SHED.add()
+                await send(request_id, self._shed_payload())
+                return
+            payload = await future
+            await send(request_id, payload)
 
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout_s is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.idle_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    # Idle reaper: the client sent nothing for the
+                    # whole window — close its connection cleanly.
+                    _IDLE_CLOSED.add()
+                    break
                 except (
                     asyncio.LimitOverrunError,
                     ValueError,
                 ):  # oversized line
                     _PROTOCOL_ERRORS.add()
-                    async with write_lock:
-                        writer.write(
-                            encode_response(
-                                None, {"error": "request too large"}
-                            )
-                        )
-                        await writer.drain()
+                    await send(None, {"error": "request too large"})
                     break
                 if not line:
                     break
                 if not line.strip():
                     continue
                 try:
-                    request_id, query = parse_request(line)
+                    request_id, query, timeout_ms = parse_request(line)
                 except ValueError as exc:
                     _PROTOCOL_ERRORS.add()
-                    async with write_lock:
-                        writer.write(
-                            encode_response(None, {"error": str(exc)})
-                        )
-                        await writer.drain()
+                    await send(None, {"error": str(exc)})
                     continue
-                task = asyncio.create_task(respond(request_id, query))
+                if query.op == "health":
+                    # Answered inline, never queued: readiness probing
+                    # must keep working when the queue is saturated.
+                    await send(request_id, self._health_payload())
+                    continue
+                deadline = None
+                if timeout_ms is not None:
+                    deadline = (
+                        asyncio.get_running_loop().time() + timeout_ms / 1000.0
+                    )
+                task = asyncio.create_task(respond(request_id, query, deadline))
                 responders.add(task)
                 task.add_done_callback(responders.discard)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
             if responders:
                 with contextlib.suppress(
                     ConnectionError, asyncio.CancelledError
                 ):
                     await asyncio.gather(*responders, return_exceptions=True)
-            writer.close()
-            with contextlib.suppress(ConnectionError):
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                writer.close()
+            with contextlib.suppress(ConnectionError, RuntimeError):
                 await writer.wait_closed()
 
     # ------------------------------------------------------------------
@@ -217,13 +322,34 @@ class ObfuscationServer:
         loop = asyncio.get_running_loop()
         while True:
             window = await self._drain_window()
-            queries = [query for query, _ in window]
+            self._window_busy = True
             try:
-                payloads = await loop.run_in_executor(
-                    None, self.engine.execute, queries
-                )
-            except Exception as exc:  # engine bug: fail the window, not the loop
-                payloads = [{"error": f"internal error: {exc}"}] * len(window)
-            for (_, future), payload in zip(window, payloads):
-                if not future.done():
-                    future.set_result(payload)
+                # Deadline shedding at dispatch: a query that waited out
+                # its budget in the queue is answered late-and-cheap
+                # (an error) instead of late-and-expensive (computed).
+                now = loop.time()
+                live: list[tuple] = []
+                for query, future, deadline in window:
+                    if deadline is not None and now > deadline:
+                        _DEADLINE_SHED.add()
+                        if not future.done():
+                            future.set_result(
+                                {"error": "deadline exceeded",
+                                 "retry_after_ms": None}
+                            )
+                        continue
+                    live.append((query, future, deadline))
+                if not live:
+                    continue
+                queries = [query for query, _, _ in live]
+                try:
+                    payloads = await loop.run_in_executor(
+                        None, self.engine.execute, queries
+                    )
+                except Exception as exc:  # engine bug: fail the window, not the loop
+                    payloads = [{"error": f"internal error: {exc}"}] * len(live)
+                for (_, future, _), payload in zip(live, payloads):
+                    if not future.done():
+                        future.set_result(payload)
+            finally:
+                self._window_busy = False

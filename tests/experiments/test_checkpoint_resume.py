@@ -1,0 +1,177 @@
+"""Checkpoint/resume: per-cell records, bit-identical restores, and the
+interrupted-then-resumed subprocess pin for ``run_paper_scale.py``.
+
+The contract under test (ISSUE 10): every completed grid cell is
+persisted atomically the moment it finishes; ``--resume`` skips the
+recorded cells and the final tables are **byte-identical** to an
+uninterrupted run — restores are exact, not approximate, because every
+cell's seed substream is a pure function of its grid index.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import quick_config
+from repro.experiments.harness import (
+    run_obfuscation_sweep,
+    table2_rows,
+    table4_rows,
+)
+from repro.experiments.report import save_csv
+from repro.resilience import CheckpointStore
+
+REPO = Path(__file__).resolve().parents[2]
+
+FP = {"command": "test-sweep", "seed": 0}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config(scale=0.15, worlds=5, k_values=(5, 10))
+
+
+class TestSweepCheckpoint:
+    def test_resumed_sweep_is_bit_identical(self, config, tmp_path):
+        golden = run_obfuscation_sweep(config)
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        first = run_obfuscation_sweep(config, checkpoint=store)
+        assert len(store) == len(first)  # every cell recorded
+
+        resumed_store = CheckpointStore(tmp_path / "ckpt")
+        resumed_store.begin(FP, resume=True)
+        resumed = run_obfuscation_sweep(config, checkpoint=resumed_store)
+
+        for a, b, c in zip(golden, first, resumed):
+            assert a.result.sigma == b.result.sigma == c.result.sigma
+            assert (
+                a.result.eps_achieved
+                == b.result.eps_achieved
+                == c.result.eps_achieved
+            )
+            assert (
+                a.result.uncertain.pair_arrays()[2].tobytes()
+                == c.result.uncertain.pair_arrays()[2].tobytes()
+            )
+
+        # The rendered artefact is byte-identical too.
+        save_csv(table2_rows(golden), tmp_path / "golden.csv")
+        save_csv(table2_rows(resumed), tmp_path / "resumed.csv")
+        assert (tmp_path / "golden.csv").read_bytes() == (
+            tmp_path / "resumed.csv"
+        ).read_bytes()
+
+    def test_partial_checkpoint_computes_only_missing_cells(self, config, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        # Record only the k=5 cells by sweeping a reduced grid first.
+        small = quick_config(scale=0.15, worlds=5, k_values=(5,))
+        run_obfuscation_sweep(small, checkpoint=store)
+        recorded = len(store)
+        assert recorded == len(small.k_values) * len(small.eps_values)
+
+        # The full grid restores those cells and computes the rest.
+        resumed_store = CheckpointStore(tmp_path / "ckpt")
+        resumed_store.begin(FP, resume=True)
+        full = run_obfuscation_sweep(config, checkpoint=resumed_store)
+        assert len(resumed_store) == len(full)
+
+        golden = run_obfuscation_sweep(config)
+        for a, b in zip(golden, full):
+            assert a.result.sigma == b.result.sigma
+
+    def test_utility_cells_checkpointed(self, config, tmp_path):
+        sweep = run_obfuscation_sweep(config)
+        store = CheckpointStore(tmp_path / "util")
+        store.begin(FP, resume=False)
+        rows_first = table4_rows(sweep, config, cache={}, checkpoint=store)
+        assert len(store) > 0  # utility cells recorded
+
+        resumed_store = CheckpointStore(tmp_path / "util")
+        resumed_store.begin(FP, resume=True)
+        rows_resumed = table4_rows(
+            sweep, config, cache={}, checkpoint=resumed_store
+        )
+        assert rows_first == rows_resumed
+
+
+class TestInterruptedSubprocess:
+    """SIGINT mid-grid, then ``--resume``: results CSV byte-identical."""
+
+    def _run(self, tmp_path, *extra, check=True):
+        cmd = [
+            sys.executable,
+            str(REPO / "benchmarks" / "run_paper_scale.py"),
+            "--smoke",
+            "--scale", "0.03",
+            "--worlds", "4",
+            "--k", "5", "10",
+            "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ]
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        proc = subprocess.run(
+            cmd, env=env, capture_output=True, text=True, timeout=600
+        )
+        if check:
+            assert proc.returncode == 0, proc.stderr
+        return proc
+
+    def test_sigint_then_resume_byte_identical(self, tmp_path):
+        golden_out = tmp_path / "golden" / "run.csv"
+        self._run(tmp_path, "--out", str(golden_out))
+        golden_results = (
+            golden_out.parent / "run_results.csv"
+        ).read_bytes()
+
+        ckpt = tmp_path / "ckpt"
+        out = tmp_path / "resumed" / "run.csv"
+        cmd = [
+            sys.executable,
+            str(REPO / "benchmarks" / "run_paper_scale.py"),
+            "--smoke",
+            "--scale", "0.03",
+            "--worlds", "4",
+            "--k", "5", "10",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--checkpoint", str(ckpt),
+            "--out", str(out),
+        ]
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        # Interrupt as soon as the first sweep cell is checkpointed.
+        ledger = ckpt / "cells.jsonl"
+        deadline = time.monotonic() + 300
+        interrupted = False
+        while proc.poll() is None and time.monotonic() < deadline:
+            if ledger.exists() and '"sweep:' in ledger.read_text():
+                proc.send_signal(signal.SIGINT)
+                interrupted = True
+                break
+            time.sleep(0.05)
+        stdout, stderr = proc.communicate(timeout=120)
+        if interrupted and proc.returncode != 0:
+            assert proc.returncode == 130, (stdout, stderr)
+            assert "--resume" in stderr  # the hint
+            # The grid is only partly recorded; resume completes it.
+            resumed = self._run(
+                tmp_path,
+                "--checkpoint", str(ckpt),
+                "--resume",
+                "--out", str(out),
+            )
+            assert "resuming" in resumed.stdout
+        # Either path ends with the full deterministic receipt on disk.
+        assert (
+            out.parent / "run_results.csv"
+        ).read_bytes() == golden_results

@@ -1,0 +1,76 @@
+"""Atomic write helper tests: publication semantics + torn-write fault."""
+
+import os
+
+import pytest
+
+from repro.resilience.atomic import atomic_write_bytes, atomic_write_text
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    install_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    install_fault_plan(None)
+    yield
+    install_fault_plan(None)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "hi")
+        assert target.read_text() == "hi"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_stray_after_success(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_truncate_fault_tears_the_file(self, tmp_path):
+        """The fault site simulates the pre-atomic writer: a partial
+        payload at the final path, then a crash."""
+        install_fault_plan(FaultPlan(rules=(
+            FaultRule(site="io.atomic.truncate", key="out.json",
+                      action="flag", attempts=None, times=1),
+        )))
+        target = tmp_path / "out.json"
+        payload = b'{"complete": true, "padding": "xxxxxxxxxxxxxxxx"}'
+        with pytest.raises(FaultInjected):
+            atomic_write_bytes(target, payload)
+        torn = target.read_bytes()
+        assert 0 < len(torn) < len(payload)
+        # The fault spent its times=1 budget: the rewrite succeeds.
+        atomic_write_bytes(target, payload)
+        assert target.read_bytes() == payload
+
+    def test_truncate_fault_keyed_to_other_file_is_inert(self, tmp_path):
+        install_fault_plan(FaultPlan(rules=(
+            FaultRule(site="io.atomic.truncate", key="other.json",
+                      action="flag", attempts=None),
+        )))
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "fine")
+        assert target.read_text() == "fine"
+
+    def test_fsync_path_used(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd) or real_fsync(fd))
+        atomic_write_text(tmp_path / "out.txt", "data")
+        assert calls

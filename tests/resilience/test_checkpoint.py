@@ -1,0 +1,100 @@
+"""CheckpointStore tests: atomicity, exactness, fingerprint discipline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import CheckpointStore
+
+FP = {"command": "test", "seed": 0, "grid": [1, 2, 3]}
+
+
+class TestLifecycle:
+    def test_empty_store(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert len(store) == 0 and store.completed_keys() == set()
+
+    def test_record_restore_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        payload = {"sigma": 0.1 + 0.2, "eps": 1e-4, "n": 226413}
+        store.record("cell:a", payload)
+        reloaded = CheckpointStore(tmp_path / "ckpt")
+        restored, arrays = reloaded.restore("cell:a")
+        assert restored == payload and arrays == {}
+        # Floats round-trip exactly (repr-based JSON formatting).
+        assert restored["sigma"] == 0.1 + 0.2
+
+    def test_arrays_round_trip_bit_identical(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        rng = np.random.default_rng(0)
+        us = rng.integers(0, 1000, 500, dtype=np.int64)
+        ps = rng.random(500)
+        store.record("cell:b", {"n": 1000}, arrays={"us": us, "ps": ps})
+        _, arrays = CheckpointStore(tmp_path / "ckpt").restore("cell:b")
+        assert arrays["us"].dtype == np.int64
+        assert np.array_equal(arrays["us"], us)
+        assert arrays["ps"].tobytes() == ps.tobytes()  # bit-identical
+
+    def test_resume_keeps_records(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        store.record("cell:a", {"x": 1})
+        again = CheckpointStore(tmp_path / "ckpt")
+        again.begin(FP, resume=True)
+        assert "cell:a" in again
+
+    def test_fresh_begin_discards_records_and_blobs(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        store.record("cell:a", {"x": 1}, arrays={"v": np.arange(3)})
+        assert list(store.arrays_dir.glob("*.npz"))
+        fresh = CheckpointStore(tmp_path / "ckpt")
+        fresh.begin(FP, resume=False)
+        assert len(fresh) == 0
+        assert not list(fresh.arrays_dir.glob("*.npz"))
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        other = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(ValueError, match="refusing --resume"):
+            other.begin({**FP, "seed": 1}, resume=True)
+
+
+class TestCrashModel:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        store.record("cell:a", {"x": 1})
+        with open(store.ledger, "a") as fh:
+            fh.write('{"kind": "cell", "key": "cell:b", "payl')  # torn
+        reloaded = CheckpointStore(tmp_path / "ckpt")
+        assert "cell:a" in reloaded and "cell:b" not in reloaded
+
+    def test_missing_blob_means_incomplete_cell(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        store.record("cell:a", {"x": 1}, arrays={"v": np.arange(4)})
+        for blob in store.arrays_dir.glob("*.npz"):
+            blob.unlink()
+        reloaded = CheckpointStore(tmp_path / "ckpt")
+        assert reloaded.restore("cell:a") is None
+
+    def test_torn_blob_means_incomplete_cell(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        store.record("cell:a", {"x": 1}, arrays={"v": np.arange(64)})
+        for blob in store.arrays_dir.glob("*.npz"):
+            blob.write_bytes(blob.read_bytes()[:10])
+        assert CheckpointStore(tmp_path / "ckpt").restore("cell:a") is None
+
+    def test_ledger_is_valid_jsonl_after_every_record(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.begin(FP, resume=False)
+        for i in range(5):
+            store.record(f"cell:{i}", {"i": i})
+            for line in store.ledger.read_text().splitlines():
+                json.loads(line)  # never torn mid-run

@@ -1,0 +1,44 @@
+"""RetryPolicy unit tests: determinism, bounds, budget."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_backoff_is_deterministic(self):
+        a = RetryPolicy(seed=5)
+        b = RetryPolicy(seed=5)
+        for attempt in range(6):
+            assert a.backoff_s("cell", attempt) == b.backoff_s("cell", attempt)
+
+    def test_backoff_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5)
+        for attempt in range(8):
+            raw = min(0.1 * 2**attempt, 1.0)
+            delay = policy.backoff_s("k", attempt)
+            assert raw * 0.5 <= delay <= raw
+
+    def test_keys_decorrelate(self):
+        policy = RetryPolicy(jitter=1.0)
+        delays = {policy.backoff_s(f"key{i}", 1) for i in range(16)}
+        assert len(delays) > 1
+
+    def test_seed_changes_schedule(self):
+        assert RetryPolicy(seed=0).backoff_s("k", 1) != RetryPolicy(seed=1).backoff_s("k", 1)
+
+    def test_allows(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(0) and policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.05, max_delay_s=10.0, jitter=0.0)
+        assert policy.backoff_s("k", 0) == 0.05
+        assert policy.backoff_s("k", 3) == 0.4

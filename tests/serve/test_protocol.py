@@ -17,14 +17,15 @@ from repro.serve.protocol import (
 
 class TestParseRequest:
     def test_minimal_reliability(self):
-        rid, q = parse_request(
+        rid, q, timeout_ms = parse_request(
             '{"id": 3, "op": "reliability", "source": 1, "target": 2}'
         )
         assert rid == 3
         assert q == Query(op="reliability", source=1, target=2)
+        assert timeout_ms is None
 
     def test_all_fields(self):
-        _, q = parse_request(
+        _, q, _ = parse_request(
             json.dumps(
                 {
                     "op": "reliability",
@@ -45,11 +46,22 @@ class TestParseRequest:
             "khop": {"source": 1, "hops": 2},
             "distance": {"source": 1, "target": 2},
             "knn": {"source": 1, "k": 3},
+            "health": {},
         }
         assert set(samples) == set(OPS)
         for op, fields in samples.items():
-            _, q = parse_request(json.dumps({"op": op, **fields}))
+            _, q, _ = parse_request(json.dumps({"op": op, **fields}))
             assert q.op == op
+
+    def test_timeout_ms(self):
+        _, _, timeout_ms = parse_request(
+            '{"op": "degree", "source": 1, "timeout_ms": 250}'
+        )
+        assert timeout_ms == 250
+        with pytest.raises(ValueError):
+            parse_request('{"op": "degree", "source": 1, "timeout_ms": 0}')
+        with pytest.raises(ValueError):
+            parse_request('{"op": "degree", "source": 1, "timeout_ms": "1"}')
 
     @pytest.mark.parametrize(
         "line",
